@@ -1,0 +1,41 @@
+//! Contended throughput on real threads — the host-hardware analogue of
+//! the paper's microbenchmarks (Figs. 3 and 5).
+//!
+//! Each sample runs a fixed batch of lock-protected increments across
+//! several threads and reports the batch time; Criterion divides by the
+//! batch size for per-iteration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbo_bench::contended_increments;
+use hbo_locks::LockKind;
+
+const ITER_PER_THREAD: u64 = 5_000;
+
+fn bench_contended(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
+    let mut group = c.benchmark_group(format!("contended_{threads}_threads"));
+    group.throughput(Throughput::Elements(ITER_PER_THREAD * threads as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for kind in LockKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.as_str()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| contended_increments(kind, threads, ITER_PER_THREAD));
+            },
+        );
+    }
+    // The reactive extension (not one of the paper's eight kinds).
+    group.bench_function("REACTIVE", |b| {
+        b.iter(|| hbo_bench::contended_increments_reactive(threads, ITER_PER_THREAD));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion coverage of every paper artifact at reduced scale: one bench
+//! per table/figure generator, so `cargo bench` regenerates the shape of
+//! the whole evaluation. The full-scale numbers come from
+//! `cargo run --release -p nuca-experiments -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nuca_experiments::{run_experiment, Scale, EXPERIMENTS};
+
+fn bench_artifacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_artifacts_fast");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for id in EXPERIMENTS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let reports = run_experiment(id, Scale::Fast).expect("known artifact id");
+                assert!(!reports.is_empty());
+                std::hint::black_box(reports.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Uncontested acquire+release latency on the host hardware — the
+//! real-atomics analogue of the paper's Table 1 "Same Processor" column.
+//!
+//! The paper's design goal: HBO's uncontested cost should sit in the
+//! TATAS class (one atomic), well below the queue locks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbo_bench::uncontested_pair;
+use hbo_locks::LockKind;
+
+fn bench_uncontested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontested_acquire_release");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in LockKind::ALL {
+        let lock = kind.instantiate(2);
+        group.bench_function(kind.as_str(), |b| {
+            b.iter(|| uncontested_pair(std::hint::black_box(&lock)));
+        });
+    }
+    // The reactive extension's uncontested fast path.
+    let reactive = hbo_locks::ReactiveLock::new();
+    group.bench_function("REACTIVE", |b| {
+        use hbo_locks::NucaLock;
+        b.iter(|| {
+            let t = reactive.acquire(nuca_topology::NodeId(0));
+            reactive.release(t);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontested);
+criterion_main!(benches);

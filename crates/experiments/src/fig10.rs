@@ -1,0 +1,78 @@
+//! Figure 10 — sensitivity of HBO_GT_SD to `GET_ANGRY_LIMIT`
+//! (26-processor new-microbenchmark runs, HBO_GT for comparison).
+
+use hbo_locks::LockKind;
+use nuca_workloads::modern::{run_modern, ModernConfig};
+use nucasim::MachineConfig;
+
+use crate::report::Report;
+use crate::Scale;
+
+fn base_config(scale: Scale, kind: LockKind) -> ModernConfig {
+    let (per_node, iters) = scale.pick((13, 40), (4, 20));
+    ModernConfig {
+        kind,
+        machine: MachineConfig::wildfire(2, per_node),
+        threads: per_node * 2,
+        iterations: iters,
+        critical_work: 1000,
+        ..ModernConfig::default()
+    }
+}
+
+/// Sweeps the anger threshold; values normalized to HBO_GT.
+pub fn run(scale: Scale) -> Report {
+    let limits: Vec<u32> = scale.pick(vec![2, 4, 8, 16, 32, 64, 128], vec![2, 16, 128]);
+    let mut header = vec!["Lock Type".to_owned()];
+    header.extend(limits.iter().map(|l| format!("limit={l}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut report = Report::new(
+        "fig10",
+        "Sensitivity of HBO_GT_SD to GET_ANGRY_LIMIT (normalized iteration time, 26 CPUs)",
+        &header_refs,
+    );
+
+    // Reference: plain HBO_GT (no starvation detection).
+    let reference = run_modern(&base_config(scale, LockKind::HboGt)).ns_per_iteration;
+
+    let mut sd_row = vec!["HBO_GT_SD".to_owned()];
+    for &limit in &limits {
+        let mut cfg = base_config(scale, LockKind::HboGtSd);
+        cfg.params = cfg.params.with_get_angry_limit(limit);
+        let r = run_modern(&cfg);
+        sd_row.push(format!("{:.2}", r.ns_per_iteration / reference));
+    }
+    report.push_row(sd_row);
+
+    let mut gt_row = vec!["HBO_GT".to_owned()];
+    for _ in &limits {
+        gt_row.push("1.00".to_owned());
+    }
+    report.push_row(gt_row);
+
+    report.push_note(
+        "paper: aggressive (small) GET_ANGRY_LIMIT costs throughput — \
+         starvation protection trades against node affinity",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_present() {
+        let r = run(Scale::Fast);
+        assert_eq!(r.rows(), 2);
+    }
+
+    #[test]
+    fn large_limit_approaches_hbo_gt() {
+        let r = run(Scale::Fast);
+        let sd = r.row_by_key("HBO_GT_SD").unwrap();
+        let at_max: f64 = sd.last().unwrap().parse().unwrap();
+        // With a huge limit, anger never triggers: within 40% of HBO_GT.
+        assert!(at_max < 1.4, "limit=128 ratio {at_max}");
+    }
+}

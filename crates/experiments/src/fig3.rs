@@ -1,0 +1,91 @@
+//! Figure 3 — the traditional microbenchmark on a 2-node WildFire:
+//! iteration time (left panel) and node-handoff ratio (right panel) as the
+//! processor count grows.
+
+use hbo_locks::LockKind;
+use nuca_workloads::traditional::{run_traditional, TraditionalConfig};
+use nucasim::MachineConfig;
+
+use crate::report::{fmt_ratio, Report};
+use crate::Scale;
+
+/// Runs the processor-count sweep for all eight locks; returns the two
+/// panels as separate reports.
+pub fn run(scale: Scale) -> Vec<Report> {
+    let (max_per_node, iters, step) = scale.pick((14, 50, 2), (4, 15, 2));
+    let proc_counts: Vec<usize> = (2..=2 * max_per_node).step_by(step).collect();
+
+    let mut time = Report::new(
+        "fig3_time",
+        "Traditional microbenchmark: time per iteration (ns) vs processors",
+        &header(&proc_counts),
+    );
+    let mut handoff = Report::new(
+        "fig3_handoff",
+        "Traditional microbenchmark: node-handoff ratio vs processors",
+        &header(&proc_counts),
+    );
+
+    for kind in LockKind::ALL {
+        let mut trow = vec![kind.as_str().to_owned()];
+        let mut hrow = vec![kind.as_str().to_owned()];
+        for &p in &proc_counts {
+            let r = run_traditional(&TraditionalConfig {
+                kind,
+                machine: MachineConfig::wildfire(2, max_per_node),
+                threads: p,
+                iterations: iters,
+                ..TraditionalConfig::default()
+            });
+            trow.push(format!("{:.0}", r.ns_per_iteration));
+            hrow.push(fmt_ratio(r.handoff_ratio));
+        }
+        time.push_row(trow);
+        handoff.push_row(hrow);
+    }
+    time.push_note(
+        "paper: NUCA-aware locks take about half the time of any other \
+         software lock at 8-10+ processors",
+    );
+    handoff.push_note(
+        "paper: NUCA-aware locks show consistently low handoffs; queue \
+         locks approach (N/2)/(N-1)",
+    );
+    vec![time, handoff]
+}
+
+fn header(proc_counts: &[usize]) -> Vec<&'static str> {
+    // Leak the small header strings: reports want &str and the sweep is
+    // tiny and created once per process.
+    let mut cols = vec!["Lock Type"];
+    for p in proc_counts {
+        cols.push(Box::leak(format!("{p}p").into_boxed_str()));
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_two_panels_with_all_locks() {
+        let reports = run(Scale::Fast);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.rows(), 8);
+        }
+    }
+
+    #[test]
+    fn queue_lock_handoff_exceeds_nuca_handoff_at_max_procs() {
+        let reports = run(Scale::Fast);
+        let handoff = &reports[1];
+        let last = handoff.row_by_key("MCS").unwrap().len() - 1;
+        let mcs: f64 = handoff.row_by_key("MCS").unwrap()[last].parse().unwrap();
+        let hbo: f64 = handoff.row_by_key("HBO_GT").unwrap()[last]
+            .parse()
+            .unwrap();
+        assert!(mcs > hbo, "MCS {mcs} vs HBO_GT {hbo}");
+    }
+}

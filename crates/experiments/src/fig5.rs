@@ -1,0 +1,139 @@
+//! Figure 5 — the new microbenchmark (28 processors): iteration time and
+//! node handoffs vs `critical_work` — and Table 2, the normalized traffic
+//! at `critical_work = 1500`.
+
+use hbo_locks::LockKind;
+use nuca_workloads::modern::{run_modern, ModernConfig};
+use nuca_workloads::MicroReport;
+use nucasim::MachineConfig;
+
+use crate::report::{fmt_ratio, Report};
+use crate::Scale;
+
+fn config(scale: Scale, kind: LockKind, critical_work: u32) -> ModernConfig {
+    let (per_node, iters) = scale.pick((14, 60), (4, 20));
+    ModernConfig {
+        kind,
+        machine: MachineConfig::wildfire(2, per_node),
+        threads: per_node * 2,
+        iterations: iters,
+        critical_work,
+        ..ModernConfig::default()
+    }
+}
+
+fn sweep(scale: Scale) -> Vec<u32> {
+    match scale {
+        Scale::Full => vec![0, 300, 600, 900, 1200, 1500, 1800, 2100],
+        Scale::Fast => vec![0, 700, 1500],
+    }
+}
+
+/// Runs the `critical_work` sweep for all locks; returns the two panels.
+///
+/// Like the paper, TATAS is only measured up to `critical_work = 1300`
+/// "because its performance is poor for higher levels of contention".
+pub fn run(scale: Scale) -> Vec<Report> {
+    let cws = sweep(scale);
+    let mut header = vec!["Lock Type".to_owned()];
+    header.extend(cws.iter().map(|c| format!("cw={c}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    let mut time = Report::new(
+        "fig5_time",
+        "New microbenchmark: time per iteration (ns) vs critical_work, 28 processors",
+        &header_refs,
+    );
+    let mut handoff = Report::new(
+        "fig5_handoff",
+        "New microbenchmark: node-handoff ratio vs critical_work",
+        &header_refs,
+    );
+
+    for kind in LockKind::ALL {
+        let mut trow = vec![kind.as_str().to_owned()];
+        let mut hrow = vec![kind.as_str().to_owned()];
+        for &cw in &cws {
+            if kind == LockKind::Tatas && cw > 1300 {
+                trow.push("-".to_owned());
+                hrow.push("-".to_owned());
+                continue;
+            }
+            let r = run_modern(&config(scale, kind, cw));
+            trow.push(format!("{:.0}", r.ns_per_iteration));
+            hrow.push(fmt_ratio(r.handoff_ratio));
+        }
+        time.push_row(trow);
+        handoff.push_row(hrow);
+    }
+    time.push_note(
+        "paper: queue locks perform almost identically; NUCA-aware locks \
+         perform better the more contention there is",
+    );
+    vec![time, handoff]
+}
+
+/// Table 2 — local/global transactions at `critical_work = 1500`,
+/// normalized to TATAS_EXP.
+pub fn run_table2(scale: Scale) -> Report {
+    let cw = 1500;
+    let baseline = run_modern(&config(scale, LockKind::TatasExp, cw));
+    let mut report = Report::new(
+        "table2",
+        "Normalized local and global traffic, new microbenchmark (critical_work=1500)",
+        &["Lock Type", "Local Transactions", "Global Transactions"],
+    );
+    for kind in LockKind::ALL {
+        let r: MicroReport = if kind == LockKind::TatasExp {
+            baseline.clone()
+        } else {
+            run_modern(&config(scale, kind, cw))
+        };
+        report.push_row(vec![
+            kind.as_str().to_owned(),
+            format!("{:.2}", r.traffic.local as f64 / baseline.traffic.local as f64),
+            format!(
+                "{:.2}",
+                r.traffic.global as f64 / baseline.traffic.global as f64
+            ),
+        ]);
+    }
+    report.push_note(format!(
+        "TATAS_EXP absolute: {} local, {} global transactions \
+         (paper: 15.1M local, 8.9M global at full length)",
+        baseline.traffic.local, baseline.traffic.global
+    ));
+    report.push_note(
+        "paper: RH/HBO/HBO_GT/HBO_GT_SD global = 0.28-0.30; MCS/CLH = 0.63-0.65",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_cover_all_locks() {
+        let reports = run(Scale::Fast);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].rows(), 8);
+        // TATAS is dashed out beyond cw=1300.
+        let tatas = reports[0].row_by_key("TATAS").unwrap();
+        assert_eq!(tatas.last().unwrap(), "-");
+    }
+
+    #[test]
+    fn table2_normalizes_baseline_to_one() {
+        let t = run_table2(Scale::Fast);
+        let exp = t.row_by_key("TATAS_EXP").unwrap();
+        assert_eq!(exp[1], "1.00");
+        assert_eq!(exp[2], "1.00");
+        // The headline: NUCA locks cut global traffic well below the
+        // queue locks.
+        let hbo_gt: f64 = t.row_by_key("HBO_GT").unwrap()[2].parse().unwrap();
+        let mcs: f64 = t.row_by_key("MCS").unwrap()[2].parse().unwrap();
+        assert!(hbo_gt < mcs, "HBO_GT {hbo_gt} vs MCS {mcs}");
+        assert!(hbo_gt < 0.8);
+    }
+}

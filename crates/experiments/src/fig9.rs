@@ -1,0 +1,89 @@
+//! Figure 9 — sensitivity of HBO_GT_SD to `REMOTE_BACKOFF_CAP`
+//! (26-processor new-microbenchmark runs, normalized, MCS for
+//! comparison).
+
+use hbo_locks::LockKind;
+use nuca_workloads::modern::{run_modern, ModernConfig};
+use nucasim::MachineConfig;
+use nucasim_locks::SimLockParams;
+
+use crate::report::Report;
+use crate::Scale;
+
+fn base_config(scale: Scale, kind: LockKind) -> ModernConfig {
+    let (per_node, iters) = scale.pick((13, 40), (4, 20));
+    ModernConfig {
+        kind,
+        machine: MachineConfig::wildfire(2, per_node),
+        threads: per_node * 2,
+        iterations: iters,
+        critical_work: 1000,
+        ..ModernConfig::default()
+    }
+}
+
+/// Sweeps the remote backoff cap; values normalized to the default cap.
+pub fn run(scale: Scale) -> Report {
+    let caps: Vec<u32> = scale.pick(
+        vec![3_200, 6_400, 12_800, 25_600, 51_200, 102_400, 204_800],
+        vec![6_400, 51_200, 204_800],
+    );
+    let default_cap = SimLockParams::default().remote.cap;
+    let mut header = vec!["Lock Type".to_owned()];
+    header.extend(caps.iter().map(|c| format!("cap={c}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut report = Report::new(
+        "fig9",
+        "Sensitivity of HBO_GT_SD to REMOTE_BACKOFF_CAP (normalized iteration time, 26 CPUs)",
+        &header_refs,
+    );
+
+    // Reference point: HBO_GT_SD at its default cap.
+    let reference = run_modern(&base_config(scale, LockKind::HboGtSd)).ns_per_iteration;
+
+    let mut sd_row = vec!["HBO_GT_SD".to_owned()];
+    for &cap in &caps {
+        let mut cfg = base_config(scale, LockKind::HboGtSd);
+        cfg.params = cfg.params.with_remote_cap(cap);
+        let r = run_modern(&cfg);
+        sd_row.push(format!("{:.2}", r.ns_per_iteration / reference));
+    }
+    report.push_row(sd_row);
+
+    // MCS comparison line (cap-independent — one value repeated).
+    let mcs = run_modern(&base_config(scale, LockKind::Mcs)).ns_per_iteration;
+    let mut mcs_row = vec!["MCS".to_owned()];
+    for _ in &caps {
+        mcs_row.push(format!("{:.2}", mcs / reference));
+    }
+    report.push_row(mcs_row);
+
+    report.push_note(format!("normalized to HBO_GT_SD at its default cap ({default_cap})"));
+    report.push_note(
+        "paper: HBO_GT_SD stays below MCS across a wide cap range; very \
+         small caps lose the traffic throttling benefit",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sd_and_mcs_rows_present() {
+        let r = run(Scale::Fast);
+        assert_eq!(r.rows(), 2);
+        assert!(r.row_by_key("HBO_GT_SD").is_some());
+        assert!(r.row_by_key("MCS").is_some());
+    }
+
+    #[test]
+    fn sd_beats_mcs_at_default_cap() {
+        let r = run(Scale::Fast);
+        // Column for cap=51200 (the default) in the fast sweep.
+        let sd: f64 = r.row_by_key("HBO_GT_SD").unwrap()[2].parse().unwrap();
+        let mcs: f64 = r.row_by_key("MCS").unwrap()[2].parse().unwrap();
+        assert!(sd < mcs, "HBO_GT_SD {sd} vs MCS {mcs}");
+    }
+}

@@ -1,0 +1,70 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```bash
+//! experiments all                # every artifact, paper scale
+//! experiments fig5 table2        # selected artifacts
+//! experiments all --fast         # smoke-test scale
+//! experiments --list             # artifact inventory
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nuca_experiments::{run_experiment, Scale, EXPERIMENTS, EXTENSIONS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => scale = Scale::Fast,
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                println!("paper artifacts: {}", EXPERIMENTS.join(", "));
+                println!("extensions:      {}", EXTENSIONS.join(", "));
+                println!("meta:            all");
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--fast] [--out DIR] <id>... | all | --list");
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_owned());
+    }
+
+    for id in &ids {
+        let started = Instant::now();
+        match run_experiment(id, scale) {
+            Ok(reports) => {
+                for report in reports {
+                    println!("{}", report.render());
+                    match report.write_tsv(&out_dir) {
+                        Ok(path) => println!("wrote {}\n", path.display()),
+                        Err(err) => eprintln!("could not write TSV: {err}"),
+                    }
+                }
+                eprintln!("[{id} done in {:.1?}]", started.elapsed());
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,80 @@
+//! Extension experiment — how the HBO advantage scales with the NUCA
+//! ratio (the paper's §2 table spans ratios from ~3.5 to ~10).
+//!
+//! This is the ablation DESIGN.md calls out: rerun the new microbenchmark
+//! under the DASH, WildFire, NUMA-Q and CMP latency presets and report the
+//! HBO_GT speedup over MCS and TATAS_EXP. The paper's thesis predicts the
+//! advantage grows with the ratio and vanishes on a UMA machine.
+
+use hbo_locks::LockKind;
+use nuca_workloads::modern::{run_modern, ModernConfig};
+use nucasim::{LatencyModel, MachineConfig};
+
+use crate::report::Report;
+use crate::Scale;
+
+/// Runs the NUCA-ratio ablation.
+pub fn run(scale: Scale) -> Report {
+    let presets: [(&str, LatencyModel); 5] = [
+        ("E6000 (UMA)", LatencyModel::e6000()),
+        ("DS-320-like (3.5)", LatencyModel::wildfire().with_nuca_ratio(3.5)),
+        ("DASH (4.5)", LatencyModel::dash()),
+        ("WildFire (6)", LatencyModel::wildfire()),
+        ("NUMA-Q (10)", LatencyModel::numa_q()),
+    ];
+    let (per_node, iters) = scale.pick((14, 30), (4, 15));
+    let mut report = Report::new(
+        "nuca_ratio",
+        "HBO_GT advantage vs NUCA ratio (new microbenchmark, critical_work=1000)",
+        &[
+            "Machine",
+            "NUCA ratio",
+            "HBO_GT (ns/iter)",
+            "MCS / HBO_GT",
+            "TATAS_EXP / HBO_GT",
+        ],
+    );
+    for (name, latency) in presets {
+        let make = |kind| {
+            run_modern(&ModernConfig {
+                kind,
+                machine: MachineConfig::wildfire(2, per_node).with_latency(latency),
+                threads: per_node * 2,
+                iterations: iters,
+                critical_work: 1000,
+                ..ModernConfig::default()
+            })
+        };
+        let hbo = make(LockKind::HboGt);
+        let mcs = make(LockKind::Mcs);
+        let exp = make(LockKind::TatasExp);
+        report.push_row(vec![
+            name.to_owned(),
+            format!("{:.1}", latency.nuca_ratio()),
+            format!("{:.0}", hbo.ns_per_iteration),
+            format!("{:.2}", mcs.ns_per_iteration / hbo.ns_per_iteration),
+            format!("{:.2}", exp.ns_per_iteration / hbo.ns_per_iteration),
+        ]);
+    }
+    report.push_note("prediction: the HBO advantage grows with the NUCA ratio");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advantage_grows_with_ratio() {
+        let r = run(Scale::Fast);
+        assert_eq!(r.rows(), 5);
+        let ratio = |row: usize| -> f64 { r.cell(row, 3).unwrap().parse().unwrap() };
+        // NUMA-Q advantage must exceed the UMA advantage.
+        assert!(
+            ratio(4) > ratio(0),
+            "NUMA-Q {} vs UMA {}",
+            ratio(4),
+            ratio(0)
+        );
+    }
+}

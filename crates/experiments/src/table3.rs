@@ -1,0 +1,52 @@
+//! Table 3 — the SPLASH-2 programs and their lock statistics.
+
+use nuca_workloads::apps::table3;
+
+use crate::report::Report;
+
+/// Prints the application inventory (model parameters, no simulation).
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "table3",
+        "The SPLASH-2 programs (▶ = studied further)",
+        &["Program", "Problem Size", "Total Locks", "Lock Calls"],
+    );
+    for app in table3() {
+        let name = if app.studied {
+            format!("> {}", app.name)
+        } else {
+            app.name.to_owned()
+        };
+        report.push_row(vec![
+            name,
+            app.problem_size.to_owned(),
+            app.total_locks.to_string(),
+            app.lock_calls.to_string(),
+        ]);
+    }
+    report.push_note("lock statistics are the paper's 32-processor counts (model inputs)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_programs_seven_studied() {
+        let r = run();
+        assert_eq!(r.rows(), 14);
+        let studied = (0..r.rows())
+            .filter(|i| r.cell(*i, 0).unwrap().starts_with("> "))
+            .count();
+        assert_eq!(studied, 7);
+    }
+
+    #[test]
+    fn raytrace_row_matches_paper() {
+        let r = run();
+        let row = r.row_by_key("> Raytrace").unwrap();
+        assert_eq!(row[2], "35");
+        assert_eq!(row[3], "366450");
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-node `is_spinning` slots used for global-traffic throttling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use nuca_topology::NodeId;
+
+use crate::pad::CachePadded;
+
+/// Upper bound on nodes supported by the process-global [`GtContext`].
+pub const MAX_NODES: usize = 64;
+
+/// The "dummy value" stored in an `is_spinning` slot when no throttling is
+/// in effect. No lock can be at address 0.
+const DUMMY: usize = 0;
+
+/// One cache-line-padded `is_spinning` slot per NUCA node.
+///
+/// The paper's HBO_GT uses one extra variable per node, *shared by all
+/// locks*: the slot holds the address of the lock that node is currently
+/// remote-spinning on ("there is usually only one thread per node ... that
+/// is performing remote spinning", §4.2). A thread about to contend for a
+/// lock first checks whether its node is already remote-spinning on that
+/// same lock and, if so, waits locally instead of adding global traffic.
+///
+/// Locks created with `HboGtLock::with_nodes` share the process-global
+/// context; tests and multi-tenant embeddings can allocate private contexts
+/// with [`GtContext::new`].
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::GtContext;
+/// use nuca_topology::NodeId;
+///
+/// let ctx = GtContext::new(2);
+/// assert!(!ctx.is_throttled(NodeId(0), 0xdead));
+/// ctx.start_remote_spin(NodeId(0), 0xdead);
+/// assert!(ctx.is_throttled(NodeId(0), 0xdead));
+/// ctx.stop_remote_spin(NodeId(0));
+/// assert!(!ctx.is_throttled(NodeId(0), 0xdead));
+/// ```
+#[derive(Debug)]
+pub struct GtContext {
+    slots: Vec<CachePadded<AtomicUsize>>,
+}
+
+impl GtContext {
+    /// Creates a private context for `nodes` NUCA nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Arc<GtContext> {
+        assert!(nodes > 0, "GtContext needs at least one node");
+        Arc::new(GtContext {
+            slots: (0..nodes)
+                .map(|_| CachePadded::new(AtomicUsize::new(DUMMY)))
+                .collect(),
+        })
+    }
+
+    /// The process-global context, sized for [`MAX_NODES`] nodes.
+    pub fn global() -> &'static Arc<GtContext> {
+        static GLOBAL: OnceLock<Arc<GtContext>> = OnceLock::new();
+        GLOBAL.get_or_init(|| GtContext::new(MAX_NODES))
+    }
+
+    /// Number of node slots.
+    pub fn nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot(&self, node: NodeId) -> &AtomicUsize {
+        // Out-of-range nodes alias slot 0 rather than panicking: the slots
+        // are performance hints, and a hint must never turn a valid lock
+        // operation into a crash.
+        &self.slots[node.index() % self.slots.len()]
+    }
+
+    /// Whether `node` should hold off contending for the lock identified by
+    /// `lock_addr` (paper Fig. 1, lines 5 and 56).
+    #[inline]
+    pub fn is_throttled(&self, node: NodeId, lock_addr: usize) -> bool {
+        self.slot(node).load(Ordering::Relaxed) == lock_addr
+    }
+
+    /// Publishes that `node` has a remote spinner for `lock_addr`
+    /// (Fig. 1, line 39).
+    #[inline]
+    pub fn start_remote_spin(&self, node: NodeId, lock_addr: usize) {
+        self.slot(node).store(lock_addr, Ordering::Relaxed);
+    }
+
+    /// Clears `node`'s slot (Fig. 1, lines 44 and 48 — the "dummy value").
+    #[inline]
+    pub fn stop_remote_spin(&self, node: NodeId) {
+        self.slot(node).store(DUMMY, Ordering::Relaxed);
+    }
+
+    /// Stops *another* node from contending for `lock_addr` — the
+    /// starvation-detection measure of HBO_GT_SD (Fig. 2, line 62).
+    #[inline]
+    pub fn stop_node(&self, node: NodeId, lock_addr: usize) {
+        self.slot(node).store(lock_addr, Ordering::Relaxed);
+    }
+
+    /// Releases a node previously stopped with [`GtContext::stop_node`]
+    /// (Fig. 2, lines 47–48), but only if the slot still names `lock_addr`
+    /// — the node may since have started a legitimate remote spin on
+    /// another lock.
+    #[inline]
+    pub fn release_node(&self, node: NodeId, lock_addr: usize) {
+        let _ = self.slot(node).compare_exchange(
+            lock_addr,
+            DUMMY,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttle_roundtrip() {
+        let ctx = GtContext::new(4);
+        assert_eq!(ctx.nodes(), 4);
+        for n in 0..4 {
+            assert!(!ctx.is_throttled(NodeId(n), 42));
+        }
+        ctx.start_remote_spin(NodeId(2), 42);
+        assert!(ctx.is_throttled(NodeId(2), 42));
+        assert!(!ctx.is_throttled(NodeId(2), 43), "different lock unaffected");
+        assert!(!ctx.is_throttled(NodeId(1), 42), "different node unaffected");
+        ctx.stop_remote_spin(NodeId(2));
+        assert!(!ctx.is_throttled(NodeId(2), 42));
+    }
+
+    #[test]
+    fn release_node_only_if_still_ours() {
+        let ctx = GtContext::new(2);
+        ctx.stop_node(NodeId(1), 42);
+        assert!(ctx.is_throttled(NodeId(1), 42));
+        // Node 1 has since moved on to remote-spinning on lock 99.
+        ctx.start_remote_spin(NodeId(1), 99);
+        ctx.release_node(NodeId(1), 42);
+        assert!(
+            ctx.is_throttled(NodeId(1), 99),
+            "release of a stale stop must not clear a newer spin"
+        );
+        ctx.release_node(NodeId(1), 99);
+        assert!(!ctx.is_throttled(NodeId(1), 99));
+    }
+
+    #[test]
+    fn out_of_range_node_aliases_instead_of_panicking() {
+        let ctx = GtContext::new(2);
+        ctx.start_remote_spin(NodeId(5), 7);
+        assert!(ctx.is_throttled(NodeId(1), 7), "5 % 2 == 1");
+    }
+
+    #[test]
+    fn global_context_is_shared() {
+        let a = GtContext::global();
+        let b = GtContext::global();
+        assert!(Arc::ptr_eq(a, b));
+        assert_eq!(a.nodes(), MAX_NODES);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = GtContext::new(0);
+    }
+}

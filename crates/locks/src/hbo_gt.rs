@@ -1,0 +1,298 @@
+//! HBO_GT — HBO with global traffic throttling (§4.2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use nuca_topology::NodeId;
+
+use crate::backoff::{Backoff, BackoffConfig};
+use crate::gt_ctx::GtContext;
+use crate::hbo::{tag, FREE};
+use crate::lock::NucaLock;
+use crate::pad::CachePadded;
+
+/// Proof that an [`HboGtLock`] is held.
+#[derive(Debug)]
+pub struct HboGtToken(());
+
+/// HBO with *global traffic throttling* (the paper's HBO_GT, Figure 1
+/// including the emphasized lines).
+///
+/// When multiple processors of one node all spin on a remotely-held lock,
+/// each of their periodic `cas` attempts crosses the interconnect. HBO_GT
+/// elects (approximately) one remote spinner per node: before contending, a
+/// thread checks its node's `is_spinning` slot ([`GtContext`]); if the slot
+/// already names this lock, the thread waits locally until the slot is
+/// cleared by the node's winning spinner.
+///
+/// Storage cost: one word per lock plus one `is_spinning` word per node
+/// (shared by all locks).
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{HboGtLock, NucaLock};
+/// use nuca_topology::NodeId;
+///
+/// let lock = HboGtLock::with_nodes(2);
+/// let t = lock.acquire(NodeId(0));
+/// lock.release(t);
+/// ```
+#[derive(Debug)]
+pub struct HboGtLock {
+    word: CachePadded<AtomicUsize>,
+    ctx: Arc<GtContext>,
+    local: BackoffConfig,
+    remote: BackoffConfig,
+}
+
+impl HboGtLock {
+    /// Creates a free lock using the process-global [`GtContext`]; `nodes`
+    /// is advisory (the global context covers [`crate::MAX_NODES`]).
+    pub fn with_nodes(nodes: usize) -> HboGtLock {
+        let _ = nodes;
+        HboGtLock::with_context(Arc::clone(GtContext::global()))
+    }
+
+    /// Creates a free lock bound to a specific throttling context.
+    pub fn with_context(ctx: Arc<GtContext>) -> HboGtLock {
+        HboGtLock::with_config(ctx, BackoffConfig::local(), BackoffConfig::remote())
+    }
+
+    /// Creates a free lock with explicit backoff constants.
+    pub fn with_config(
+        ctx: Arc<GtContext>,
+        local: BackoffConfig,
+        remote: BackoffConfig,
+    ) -> HboGtLock {
+        HboGtLock {
+            word: CachePadded::new(AtomicUsize::new(FREE)),
+            ctx,
+            local,
+            remote,
+        }
+    }
+
+    /// A stable identifier for this lock in `is_spinning` slots.
+    #[inline]
+    fn addr(&self) -> usize {
+        &*self.word as *const AtomicUsize as usize
+    }
+
+    #[inline]
+    fn cas(&self, node_tag: usize) -> usize {
+        match self
+            .word
+            .compare_exchange(FREE, node_tag, Ordering::Acquire, Ordering::Relaxed)
+        {
+            Ok(prev) | Err(prev) => prev,
+        }
+    }
+
+    /// Waits while this node's `is_spinning` slot names this lock
+    /// (Fig. 1 lines 5 and 56).
+    #[inline]
+    fn gate(&self, node: NodeId) {
+        let mut w = crate::backoff::SpinWait::new();
+        while self.ctx.is_throttled(node, self.addr()) {
+            w.spin();
+        }
+    }
+
+    #[cold]
+    fn acquire_slowpath(&self, node: NodeId, mut tmp: usize) {
+        let node_tag = tag(node);
+        loop {
+            // `start:`
+            if tmp == node_tag {
+                // Local lock: eager spinning, no throttling involved.
+                let mut b = Backoff::new(&self.local);
+                let migrated_away = loop {
+                    b.spin();
+                    tmp = self.cas(node_tag);
+                    if tmp == FREE {
+                        return;
+                    }
+                    if tmp != node_tag {
+                        b.spin();
+                        break true;
+                    }
+                };
+                if migrated_away {
+                    // `goto restart`: wait at the gate, retry once, then
+                    // re-classify.
+                    self.gate(node);
+                    tmp = self.cas(node_tag);
+                    if tmp == FREE {
+                        return;
+                    }
+                }
+            } else {
+                // Remote lock: become (one of) the node's remote spinners.
+                let mut b = Backoff::new(&self.remote);
+                self.ctx.start_remote_spin(node, self.addr());
+                loop {
+                    b.spin();
+                    tmp = self.cas(node_tag);
+                    if tmp == FREE {
+                        // Let waiting neighbors contend again (line 44).
+                        self.ctx.stop_remote_spin(node);
+                        return;
+                    }
+                    if tmp == node_tag {
+                        // Lock migrated into our node (another neighbor got
+                        // it past the gate); stop throttling and restart.
+                        self.ctx.stop_remote_spin(node);
+                        self.gate(node);
+                        tmp = self.cas(node_tag);
+                        if tmp == FREE {
+                            return;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NucaLock for HboGtLock {
+    type Token = HboGtToken;
+
+    fn acquire(&self, node: NodeId) -> HboGtToken {
+        // Fig. 1 lines 5–9: gate, then a single cas on the fast path.
+        self.gate(node);
+        let tmp = self.cas(tag(node));
+        if tmp != FREE {
+            self.acquire_slowpath(node, tmp);
+        }
+        HboGtToken(())
+    }
+
+    fn try_acquire(&self, node: NodeId) -> Option<HboGtToken> {
+        if self.ctx.is_throttled(node, self.addr()) {
+            return None;
+        }
+        if self.cas(tag(node)) == FREE {
+            Some(HboGtToken(()))
+        } else {
+            None
+        }
+    }
+
+    fn release(&self, _token: HboGtToken) {
+        self.word.store(FREE, Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "HBO_GT"
+    }
+}
+
+impl HboGtLock {
+    /// Returns the node currently holding the lock, if any.
+    pub fn holder(&self) -> Option<NodeId> {
+        match self.word.load(Ordering::Relaxed) {
+            FREE => None,
+            t => Some(NodeId(t - 1)),
+        }
+    }
+
+    /// The throttling context this lock participates in.
+    pub fn context(&self) -> &Arc<GtContext> {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn basic_roundtrip() {
+        let lock = HboGtLock::with_nodes(2);
+        let t = lock.acquire(NodeId(1));
+        assert_eq!(lock.holder(), Some(NodeId(1)));
+        assert!(lock.try_acquire(NodeId(0)).is_none());
+        lock.release(t);
+        assert_eq!(lock.holder(), None);
+    }
+
+    #[test]
+    fn try_acquire_respects_throttle_gate() {
+        let ctx = GtContext::new(2);
+        let lock = HboGtLock::with_context(Arc::clone(&ctx));
+        ctx.start_remote_spin(NodeId(0), lock.addr());
+        assert!(
+            lock.try_acquire(NodeId(0)).is_none(),
+            "throttled node must not contend"
+        );
+        assert!(
+            lock.try_acquire(NodeId(1)).is_some(),
+            "other nodes unaffected"
+        );
+    }
+
+    #[test]
+    fn slot_cleared_after_remote_acquire() {
+        let ctx = GtContext::new(2);
+        let lock = Arc::new(HboGtLock::with_config(
+            Arc::clone(&ctx),
+            BackoffConfig::new(4, 2, 64),
+            BackoffConfig::new(8, 2, 128),
+        ));
+        // Node 0 holds the lock; node 1 must go through the remote path.
+        let t = lock.acquire(NodeId(0));
+        let l2 = Arc::clone(&lock);
+        let waiter = std::thread::spawn(move || {
+            let t = l2.acquire(NodeId(1));
+            l2.release(t);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        lock.release(t);
+        waiter.join().unwrap();
+        assert!(
+            !ctx.is_throttled(NodeId(1), lock.addr()),
+            "is_spinning must be DUMMY once the remote spinner succeeded"
+        );
+    }
+
+    #[test]
+    fn mutual_exclusion_mixed_nodes() {
+        let ctx = GtContext::new(2);
+        let lock = Arc::new(HboGtLock::with_config(
+            Arc::clone(&ctx),
+            BackoffConfig::new(4, 2, 64),
+            BackoffConfig::new(8, 2, 256),
+        ));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    let node = NodeId(i % 2);
+                    for _ in 0..20_000 {
+                        let t = lock.acquire(node);
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.release(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+    }
+
+    #[test]
+    fn distinct_locks_do_not_cross_throttle() {
+        let ctx = GtContext::new(2);
+        let a = HboGtLock::with_context(Arc::clone(&ctx));
+        let b = HboGtLock::with_context(Arc::clone(&ctx));
+        ctx.start_remote_spin(NodeId(0), a.addr());
+        assert!(b.try_acquire(NodeId(0)).is_some(), "lock B not throttled");
+        assert!(a.try_acquire(NodeId(0)).is_none(), "lock A throttled");
+        ctx.stop_remote_spin(NodeId(0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Lock instrumentation: acquisition counts and node-handoff ratios.
+//!
+//! The paper's key diagnostic is the *node handoff ratio* — how often the
+//! lock migrates between NUCA nodes per acquisition (Figs. 3 and 5, right
+//! panels). [`Instrumented`] wraps any [`NucaLock`] and measures it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nuca_topology::NodeId;
+
+use crate::lock::NucaLock;
+use crate::pad::CachePadded;
+
+/// Snapshot of an [`Instrumented`] lock's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct LockStats {
+    /// Total successful acquisitions.
+    pub acquisitions: usize,
+    /// Acquisitions whose node differed from the previous holder's node.
+    pub node_handoffs: usize,
+}
+
+impl LockStats {
+    /// Node handoffs per acquisition, in `[0, 1]`; `None` before the first
+    /// handover opportunity (fewer than two acquisitions).
+    pub fn handoff_ratio(&self) -> Option<f64> {
+        if self.acquisitions < 2 {
+            None
+        } else {
+            // The first acquisition has no predecessor, so it is excluded
+            // from the denominator.
+            Some(self.node_handoffs as f64 / (self.acquisitions - 1) as f64)
+        }
+    }
+}
+
+/// Wraps a [`NucaLock`], counting acquisitions and node handoffs.
+///
+/// The counters are updated *inside* the critical section (right after
+/// acquire), so they are exact, not sampled. The extra cost is two relaxed
+/// atomic operations per acquisition.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{Instrumented, NucaLock, TatasLock};
+/// use nuca_topology::NodeId;
+///
+/// let lock = Instrumented::new(TatasLock::new());
+/// let t = lock.acquire(NodeId(0));
+/// lock.release(t);
+/// let t = lock.acquire(NodeId(1));
+/// lock.release(t);
+/// let stats = lock.stats();
+/// assert_eq!(stats.acquisitions, 2);
+/// assert_eq!(stats.node_handoffs, 1);
+/// ```
+#[derive(Debug)]
+pub struct Instrumented<L> {
+    inner: L,
+    acquisitions: CachePadded<AtomicUsize>,
+    handoffs: CachePadded<AtomicUsize>,
+    /// `node + 1` of the last holder; 0 = no holder yet.
+    last_node: CachePadded<AtomicUsize>,
+}
+
+impl<L: NucaLock> Instrumented<L> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: L) -> Instrumented<L> {
+        Instrumented {
+            inner,
+            acquisitions: CachePadded::new(AtomicUsize::new(0)),
+            handoffs: CachePadded::new(AtomicUsize::new(0)),
+            last_node: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            node_handoffs: self.handoffs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.handoffs.store(0, Ordering::Relaxed);
+        self.last_node.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Unwraps the lock, discarding the counters.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+
+    fn record(&self, node: NodeId) {
+        // Runs while the lock is held, so the updates are race-free in
+        // practice; Relaxed suffices because the lock's own acquire/release
+        // edges order them.
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let tag = node.index() + 1;
+        let prev = self.last_node.swap(tag, Ordering::Relaxed);
+        if prev != 0 && prev != tag {
+            self.handoffs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<L: NucaLock> NucaLock for Instrumented<L> {
+    type Token = L::Token;
+
+    fn acquire(&self, node: NodeId) -> L::Token {
+        let token = self.inner.acquire(node);
+        self.record(node);
+        token
+    }
+
+    fn try_acquire(&self, node: NodeId) -> Option<L::Token> {
+        let token = self.inner.try_acquire(node)?;
+        self.record(node);
+        Some(token)
+    }
+
+    fn release(&self, token: L::Token) {
+        self.inner.release(token);
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HboLock, TatasLock};
+
+    #[test]
+    fn counts_acquisitions_and_handoffs() {
+        let lock = Instrumented::new(HboLock::new());
+        for node in [0, 0, 1, 1, 0] {
+            let t = lock.acquire(NodeId(node));
+            lock.release(t);
+        }
+        let s = lock.stats();
+        assert_eq!(s.acquisitions, 5);
+        assert_eq!(s.node_handoffs, 2, "0→1 and 1→0");
+        assert_eq!(s.handoff_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn ratio_undefined_below_two_acquisitions() {
+        let lock = Instrumented::new(TatasLock::new());
+        assert_eq!(lock.stats().handoff_ratio(), None);
+        let t = lock.acquire(NodeId(0));
+        lock.release(t);
+        assert_eq!(lock.stats().handoff_ratio(), None);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let lock = Instrumented::new(TatasLock::new());
+        let t = lock.acquire(NodeId(0));
+        lock.release(t);
+        lock.reset();
+        assert_eq!(lock.stats(), LockStats::default());
+        // After reset, the next acquisition is "first" again: no handoff
+        // even from a different node.
+        let t = lock.acquire(NodeId(1));
+        lock.release(t);
+        assert_eq!(lock.stats().node_handoffs, 0);
+    }
+
+    #[test]
+    fn try_acquire_also_counted() {
+        let lock = Instrumented::new(TatasLock::new());
+        let t = lock.try_acquire(NodeId(0)).unwrap();
+        assert_eq!(lock.stats().acquisitions, 1);
+        lock.release(t);
+        assert!(lock.try_acquire(NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn name_passes_through() {
+        assert_eq!(Instrumented::new(HboLock::new()).name(), "HBO");
+    }
+}

@@ -1,0 +1,306 @@
+//! The lock abstraction: [`NucaLock`], RAII guards, and [`NucaMutex`].
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use nuca_topology::{thread_node, NodeId};
+
+/// A mutual-exclusion lock that may use the caller's NUCA node id as an
+/// affinity hint.
+///
+/// Every algorithm in this crate implements `NucaLock`. The `Token`
+/// associated type carries whatever the release path needs (queue locks
+/// hand back their queue node; the simple locks use `()`-like tokens).
+///
+/// # Contract
+///
+/// * [`acquire`](NucaLock::acquire) returns only once the caller holds the
+///   lock; the returned token must be passed to exactly one
+///   [`release`](NucaLock::release) call on the *same* lock.
+/// * The `node` argument is an affinity hint. Passing the wrong node can
+///   only cost performance, never correctness.
+/// * Dropping a token without releasing leaves the lock held forever
+///   (prefer the RAII APIs: [`NucaLockExt::lock`], [`NucaMutex`]).
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{HboLock, NucaLock};
+/// use nuca_topology::NodeId;
+///
+/// let lock = HboLock::new();
+/// let token = lock.acquire(NodeId(0));
+/// // ... critical section ...
+/// lock.release(token);
+/// ```
+pub trait NucaLock: Send + Sync {
+    /// State carried from acquire to release.
+    type Token;
+
+    /// Blocks until the lock is held. `node` is the caller's NUCA node.
+    fn acquire(&self, node: NodeId) -> Self::Token;
+
+    /// Makes a single attempt to take a free lock, without spinning.
+    ///
+    /// Returns `None` if the lock was busy (or, for queue locks, if joining
+    /// the queue cannot be undone cheaply and the lock was contended).
+    fn try_acquire(&self, node: NodeId) -> Option<Self::Token>;
+
+    /// Releases the lock. `token` must come from a prior
+    /// [`acquire`](NucaLock::acquire) on this same lock.
+    fn release(&self, token: Self::Token);
+
+    /// Short algorithm name matching the paper ("HBO_GT", "MCS", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience methods for any [`NucaLock`].
+pub trait NucaLockExt: NucaLock + Sized {
+    /// Acquires using the calling thread's registered node
+    /// ([`nuca_topology::thread_node`]) and returns an RAII guard.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hbo_locks::{NucaLockExt, TatasLock};
+    /// let lock = TatasLock::new();
+    /// {
+    ///     let _guard = lock.lock();
+    ///     // critical section
+    /// } // released here
+    /// ```
+    fn lock(&self) -> NucaLockGuard<'_, Self> {
+        self.lock_at(thread_node())
+    }
+
+    /// Acquires with an explicit node id and returns an RAII guard.
+    fn lock_at(&self, node: NodeId) -> NucaLockGuard<'_, Self> {
+        let token = self.acquire(node);
+        NucaLockGuard {
+            lock: self,
+            token: Some(token),
+        }
+    }
+
+    /// Attempts a non-blocking acquire, returning a guard on success.
+    fn try_lock(&self) -> Option<NucaLockGuard<'_, Self>> {
+        let token = self.try_acquire(thread_node())?;
+        Some(NucaLockGuard {
+            lock: self,
+            token: Some(token),
+        })
+    }
+}
+
+impl<L: NucaLock> NucaLockExt for L {}
+
+/// RAII guard returned by [`NucaLockExt::lock`]; releases on drop.
+pub struct NucaLockGuard<'a, L: NucaLock> {
+    lock: &'a L,
+    token: Option<L::Token>,
+}
+
+impl<L: NucaLock> Drop for NucaLockGuard<'_, L> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.release(token);
+        }
+    }
+}
+
+impl<L: NucaLock> fmt::Debug for NucaLockGuard<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NucaLockGuard")
+            .field("lock", &self.lock.name())
+            .finish()
+    }
+}
+
+/// A value protected by a [`NucaLock`] — the `std::sync::Mutex` shape with
+/// a pluggable NUCA-aware locking algorithm.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{HboGtLock, NucaMutex};
+///
+/// let m = NucaMutex::new(HboGtLock::with_nodes(2), vec![1, 2, 3]);
+/// m.lock().push(4);
+/// assert_eq!(m.lock().len(), 4);
+/// ```
+pub struct NucaMutex<L: NucaLock, T: ?Sized> {
+    lock: L,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `NucaMutex` provides mutual exclusion for access to `data`
+// (guards borrow the mutex and release on drop), so sharing it between
+// threads is safe whenever the protected value itself may be sent.
+unsafe impl<L: NucaLock, T: ?Sized + Send> Sync for NucaMutex<L, T> {}
+unsafe impl<L: NucaLock, T: ?Sized + Send> Send for NucaMutex<L, T> {}
+
+impl<L: NucaLock, T> NucaMutex<L, T> {
+    /// Wraps `data` behind `lock`.
+    pub fn new(lock: L, data: T) -> NucaMutex<L, T> {
+        NucaMutex {
+            lock,
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<L: NucaLock, T: ?Sized> NucaMutex<L, T> {
+    /// Acquires the lock (node id from the thread registry) and returns a
+    /// guard dereferencing to the protected value.
+    pub fn lock(&self) -> NucaMutexGuard<'_, L, T> {
+        self.lock_at(thread_node())
+    }
+
+    /// Acquires with an explicit node id.
+    pub fn lock_at(&self, node: NodeId) -> NucaMutexGuard<'_, L, T> {
+        let token = self.lock.acquire(node);
+        NucaMutexGuard {
+            mutex: self,
+            token: Some(token),
+        }
+    }
+
+    /// Attempts a non-blocking acquire.
+    pub fn try_lock(&self) -> Option<NucaMutexGuard<'_, L, T>> {
+        let token = self.lock.try_acquire(thread_node())?;
+        Some(NucaMutexGuard {
+            mutex: self,
+            token: Some(token),
+        })
+    }
+
+    /// Mutable access without locking — safe because `&mut self` proves
+    /// exclusive access.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// The underlying locking algorithm.
+    pub fn raw_lock(&self) -> &L {
+        &self.lock
+    }
+}
+
+impl<L: NucaLock, T: ?Sized + fmt::Debug> fmt::Debug for NucaMutex<L, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NucaMutex")
+            .field("lock", &self.lock.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`NucaMutex`]; dereferences to the protected value.
+pub struct NucaMutexGuard<'a, L: NucaLock, T: ?Sized> {
+    mutex: &'a NucaMutex<L, T>,
+    token: Option<L::Token>,
+}
+
+impl<L: NucaLock, T: ?Sized> Deref for NucaMutexGuard<'_, L, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves the lock is held, so no other guard can
+        // alias `data` until this guard drops.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<L: NucaLock, T: ?Sized> DerefMut for NucaMutexGuard<'_, L, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `Deref`; the guard also proves unique access.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<L: NucaLock, T: ?Sized> Drop for NucaMutexGuard<'_, L, T> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.mutex.lock.release(token);
+        }
+    }
+}
+
+impl<L: NucaLock, T: ?Sized + fmt::Debug> fmt::Debug for NucaMutexGuard<'_, L, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NucaMutexGuard")
+            .field("data", &&**self)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TatasLock;
+
+    #[test]
+    fn mutex_basic_exclusion() {
+        let m = NucaMutex::new(TatasLock::new(), 0u32);
+        *m.lock() += 1;
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = NucaMutex::new(TatasLock::new(), ());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_without_locking() {
+        let mut m = NucaMutex::new(TatasLock::new(), 5);
+        *m.get_mut() = 6;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn guard_debug_shows_data() {
+        let m = NucaMutex::new(TatasLock::new(), 7);
+        let g = m.lock();
+        assert!(format!("{g:?}").contains('7'));
+    }
+
+    #[test]
+    fn raw_guard_releases_on_drop() {
+        use crate::NucaLockExt;
+        let l = TatasLock::new();
+        {
+            let _g = l.lock();
+            assert!(l.try_lock().is_none());
+        }
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_shared_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(NucaMutex::new(TatasLock::new(), 0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 40_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cache-line padding.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to a cache line (128 bytes, covering the 64-byte
+/// lines of most x86/ARM parts and the 128-byte prefetch pairs of some).
+///
+/// Spin locks live or die by false sharing: a queue node or a per-node
+/// `is_spinning` slot sharing a line with unrelated data turns every
+/// neighbor write into an invalidation of a spinning reader. Every shared
+/// word in this crate is wrapped in `CachePadded`.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::CachePadded;
+/// use std::sync::atomic::AtomicUsize;
+///
+/// let slot = CachePadded::new(AtomicUsize::new(0));
+/// assert!(std::mem::align_of_val(&slot) >= 128);
+/// assert_eq!(slot.load(std::sync::atomic::Ordering::Relaxed), 0);
+/// ```
+#[repr(align(128))]
+#[derive(Default)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the wrapped value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        CachePadded::new(self.value.clone())
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_size() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn adjacent_elements_do_not_share_lines() {
+        let v = [CachePadded::new(0u8), CachePadded::new(0u8)];
+        let a = &*v[0] as *const u8 as usize;
+        let b = &*v[1] as *const u8 as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let p = CachePadded::new(7);
+        assert!(format!("{p:?}").contains('7'));
+    }
+}

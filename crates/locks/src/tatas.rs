@@ -1,0 +1,234 @@
+//! TATAS and TATAS_EXP — the simple test-and-test&set spin locks (§3).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nuca_topology::NodeId;
+
+use crate::backoff::{Backoff, BackoffConfig};
+use crate::lock::NucaLock;
+use crate::pad::CachePadded;
+
+const FREE: usize = 0;
+const HELD: usize = 1;
+
+/// Proof that a TATAS-family lock is held; consumed by release.
+#[derive(Debug)]
+pub struct TatasToken(());
+
+/// The traditional test-and-test&set lock.
+///
+/// Contenders poll the lock word with plain loads (cheap, cache-local) and
+/// only issue the expensive atomic `tas` when the word reads free. Under
+/// high contention every release triggers a burst of refill traffic and a
+/// stampede of `tas` attempts — exactly the behaviour the paper's Figure 3
+/// and Table 2 quantify.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{NucaLockExt, TatasLock};
+/// let lock = TatasLock::new();
+/// let guard = lock.lock();
+/// drop(guard);
+/// ```
+#[derive(Debug, Default)]
+pub struct TatasLock {
+    word: CachePadded<AtomicUsize>,
+}
+
+impl TatasLock {
+    /// Creates a free lock.
+    pub fn new() -> TatasLock {
+        TatasLock::default()
+    }
+
+    #[inline]
+    fn tas(&self) -> bool {
+        // `tas` = atomically write nonzero, return the old contents; the
+        // lock is ours if the old contents were zero.
+        self.word.swap(HELD, Ordering::Acquire) == FREE
+    }
+}
+
+impl NucaLock for TatasLock {
+    type Token = TatasToken;
+
+    fn acquire(&self, _node: NodeId) -> TatasToken {
+        // Fast path: a single tas.
+        if self.tas() {
+            return TatasToken(());
+        }
+        let mut w = crate::backoff::SpinWait::new();
+        loop {
+            // Test: spin with plain loads until the word reads free.
+            while self.word.load(Ordering::Relaxed) != FREE {
+                w.spin();
+            }
+            w.reset();
+            // Test&set.
+            if self.tas() {
+                return TatasToken(());
+            }
+        }
+    }
+
+    fn try_acquire(&self, _node: NodeId) -> Option<TatasToken> {
+        if self.word.load(Ordering::Relaxed) == FREE && self.tas() {
+            Some(TatasToken(()))
+        } else {
+            None
+        }
+    }
+
+    fn release(&self, _token: TatasToken) {
+        self.word.store(FREE, Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "TATAS"
+    }
+}
+
+/// TATAS with Ethernet-style exponential backoff (the paper's
+/// `TATAS_EXP`).
+///
+/// After each failed `tas`, the contender delays for a geometrically
+/// growing, capped period before looking at the lock word again, which
+/// spreads the post-release stampede out in time.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{BackoffConfig, NucaLockExt, TatasExpLock};
+/// let lock = TatasExpLock::with_config(BackoffConfig::new(8, 2, 512));
+/// let g = lock.lock();
+/// drop(g);
+/// ```
+#[derive(Debug, Default)]
+pub struct TatasExpLock {
+    word: CachePadded<AtomicUsize>,
+    cfg: BackoffConfig,
+}
+
+impl TatasExpLock {
+    /// Creates a free lock with the default backoff constants.
+    pub fn new() -> TatasExpLock {
+        TatasExpLock::default()
+    }
+
+    /// Creates a free lock with explicit backoff constants.
+    pub fn with_config(cfg: BackoffConfig) -> TatasExpLock {
+        TatasExpLock {
+            word: CachePadded::new(AtomicUsize::new(FREE)),
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn tas(&self) -> bool {
+        self.word.swap(HELD, Ordering::Acquire) == FREE
+    }
+}
+
+impl NucaLock for TatasExpLock {
+    type Token = TatasToken;
+
+    fn acquire(&self, _node: NodeId) -> TatasToken {
+        if self.tas() {
+            return TatasToken(());
+        }
+        // The paper's tatas_exp_acquire_slowpath (§3): delay, grow the
+        // delay, re-check with a load, then retry the tas.
+        let mut b = Backoff::new(&self.cfg);
+        loop {
+            b.spin();
+            if self.word.load(Ordering::Relaxed) != FREE {
+                continue;
+            }
+            if self.tas() {
+                return TatasToken(());
+            }
+        }
+    }
+
+    fn try_acquire(&self, _node: NodeId) -> Option<TatasToken> {
+        if self.word.load(Ordering::Relaxed) == FREE && self.tas() {
+            Some(TatasToken(()))
+        } else {
+            None
+        }
+    }
+
+    fn release(&self, _token: TatasToken) {
+        self.word.store(FREE, Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "TATAS_EXP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::NucaLockExt;
+    use std::sync::Arc;
+
+    fn hammer<L: NucaLock + 'static>(lock: Arc<L>, threads: usize, iters: usize) -> u64 {
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        let g = lock.lock();
+                        // Non-atomic-looking RMW under the lock: fetch_add
+                        // with Relaxed would hide races, so emulate a plain
+                        // increment via load/store while holding the lock.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        drop(g);
+                    }
+                });
+            }
+        });
+        counter.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn tatas_mutual_exclusion() {
+        let total = hammer(Arc::new(TatasLock::new()), 4, 20_000);
+        assert_eq!(total, 80_000);
+    }
+
+    #[test]
+    fn tatas_exp_mutual_exclusion() {
+        let total = hammer(Arc::new(TatasExpLock::new()), 4, 20_000);
+        assert_eq!(total, 80_000);
+    }
+
+    #[test]
+    fn try_acquire_semantics() {
+        let lock = TatasLock::new();
+        let t = lock.try_acquire(NodeId(0)).expect("free lock");
+        assert!(lock.try_acquire(NodeId(0)).is_none());
+        lock.release(t);
+        assert!(lock.try_acquire(NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(TatasLock::new().name(), "TATAS");
+        assert_eq!(TatasExpLock::new().name(), "TATAS_EXP");
+    }
+
+    #[test]
+    fn uncontended_reacquire_is_cheap_smoke() {
+        let lock = TatasExpLock::new();
+        for _ in 0..100_000 {
+            let g = lock.lock();
+            drop(g);
+        }
+    }
+}

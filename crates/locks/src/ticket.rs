@@ -1,0 +1,185 @@
+//! A ticket lock — the classic FIFO spin lock (Anderson 1990, which the
+//! paper cites for backoff), provided as a library extension.
+//!
+//! Tickets sit between TATAS and the queue locks: FIFO-fair like MCS/CLH
+//! but with TATAS-like storage (two words) and no queue nodes. All
+//! waiters spin on one shared word (`now_serving`), so every handover
+//! still invalidates every waiter — the traffic problem the paper's
+//! queue-lock discussion starts from. Proportional backoff (spin roughly
+//! `distance × slot` before re-checking) tempers the storm.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nuca_topology::NodeId;
+
+use crate::backoff::spin_cycles;
+use crate::lock::NucaLock;
+use crate::pad::CachePadded;
+
+/// Proof that a [`TicketLock`] is held.
+#[derive(Debug)]
+pub struct TicketToken {
+    ticket: usize,
+}
+
+/// FIFO ticket lock with proportional backoff.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{NucaLockExt, TicketLock};
+/// let lock = TicketLock::new();
+/// let g = lock.lock();
+/// drop(g);
+/// ```
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next_ticket: CachePadded<AtomicUsize>,
+    now_serving: CachePadded<AtomicUsize>,
+    /// Spin-hint iterations per queue position when waiting.
+    slot_cycles: u32,
+}
+
+impl TicketLock {
+    /// Creates a free lock with a default proportional-backoff slot.
+    pub fn new() -> TicketLock {
+        TicketLock::with_slot(64)
+    }
+
+    /// Creates a free lock; waiters delay `distance × slot_cycles` spin
+    /// hints between checks of `now_serving`.
+    pub fn with_slot(slot_cycles: u32) -> TicketLock {
+        TicketLock {
+            next_ticket: CachePadded::new(AtomicUsize::new(0)),
+            now_serving: CachePadded::new(AtomicUsize::new(0)),
+            slot_cycles,
+        }
+    }
+
+    /// Number of threads currently waiting or holding (0 = free).
+    pub fn queue_depth(&self) -> usize {
+        self.next_ticket
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.now_serving.load(Ordering::Relaxed))
+    }
+}
+
+impl NucaLock for TicketLock {
+    type Token = TicketToken;
+
+    fn acquire(&self, _node: NodeId) -> TicketToken {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let serving = self.now_serving.load(Ordering::Acquire);
+            let distance = ticket.wrapping_sub(serving);
+            if distance == 0 {
+                return TicketToken { ticket };
+            }
+            // Proportional backoff: a waiter k positions back has at
+            // least k handovers to wait through; yield too so an
+            // oversubscribed host keeps making progress.
+            spin_cycles(self.slot_cycles.saturating_mul(distance.min(64) as u32));
+            std::thread::yield_now();
+        }
+    }
+
+    fn try_acquire(&self, _node: NodeId) -> Option<TicketToken> {
+        let serving = self.now_serving.load(Ordering::Acquire);
+        // Claim the next ticket only if it would be served immediately.
+        match self.next_ticket.compare_exchange(
+            serving,
+            serving.wrapping_add(1),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Some(TicketToken { ticket: serving }),
+            Err(_) => None,
+        }
+    }
+
+    fn release(&self, token: TicketToken) {
+        // Only the holder can advance the serving counter; a plain store
+        // of ticket+1 is the classic release.
+        self.now_serving
+            .store(token.ticket.wrapping_add(1), Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "TICKET"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::NucaLockExt;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion() {
+        let lock = Arc::new(TicketLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let g = lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        drop(g);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 40_000);
+    }
+
+    #[test]
+    fn try_acquire_semantics() {
+        let lock = TicketLock::new();
+        let t = lock.try_acquire(NodeId(0)).expect("free");
+        assert!(lock.try_acquire(NodeId(0)).is_none());
+        assert_eq!(lock.queue_depth(), 1);
+        lock.release(t);
+        assert_eq!(lock.queue_depth(), 0);
+        let t2 = lock.try_acquire(NodeId(1)).expect("released");
+        lock.release(t2);
+    }
+
+    #[test]
+    fn fifo_order_two_waiters() {
+        let lock = Arc::new(TicketLock::new());
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let t = lock.acquire(NodeId(0));
+        std::thread::scope(|s| {
+            for i in 0..2 {
+                let lock = Arc::clone(&lock);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let g = lock.lock();
+                    order.lock().unwrap().push(i);
+                    drop(g);
+                });
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            lock.release(t);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ticket_wraparound_is_safe() {
+        // Start the counters near the wrap point and keep going.
+        let lock = TicketLock::new();
+        lock.next_ticket.store(usize::MAX - 1, Ordering::Relaxed);
+        lock.now_serving.store(usize::MAX - 1, Ordering::Relaxed);
+        for _ in 0..5 {
+            let t = lock.acquire(NodeId(0));
+            lock.release(t);
+        }
+        assert_eq!(lock.queue_depth(), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Machine configuration: topology, latency model, preemption, seed.
+
+use nuca_topology::Topology;
+
+use crate::preempt::PreemptionConfig;
+
+/// Unloaded latencies and occupancies of the simulated memory system, in
+/// cycles (4 ns each at the 250 MHz clock).
+///
+/// The defining quantity is the **NUCA ratio**: remote cache-to-cache
+/// transfer time over same-node cache-to-cache transfer time. The paper's
+/// §2 table gives ratios of ~4.5 (Stanford DASH), ~10 (Sequent NUMA-Q),
+/// ~6 (Sun WildFire), ~3.5 (Compaq DS-320) and 6–10 for CMP/SMT servers;
+/// the presets below reproduce those machines.
+///
+/// # Example
+///
+/// ```
+/// let m = nucasim::LatencyModel::wildfire();
+/// assert!((m.nuca_ratio() - 6.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Load/store hit in the requester's own cache.
+    pub l1_hit: u64,
+    /// Cache-to-cache transfer from another CPU in the same node.
+    pub same_node_transfer: u64,
+    /// Cache-to-cache transfer from a CPU in the same *innermost group*
+    /// (e.g. the same CMP chip) on machines with a hierarchy level below
+    /// the node ([`nuca_topology::Topology::extra_levels`] > 0). Such
+    /// transfers stay on-chip and skip the node's snooping bus. Ignored on
+    /// flat topologies.
+    pub same_chip_transfer: u64,
+    /// Access to node-local memory (the paper's lmbench 330 ns).
+    pub local_memory: u64,
+    /// Cache-to-cache transfer from a CPU in a remote node (the paper's
+    /// lmbench ~1700 ns on WildFire).
+    pub remote_transfer: u64,
+    /// Access to remote memory.
+    pub remote_memory: u64,
+    /// Extra cost of an atomic operation (`cas`/`swap`/`tas`) on top of
+    /// the data access.
+    pub atomic_extra: u64,
+    /// How long a node-local coherence transaction keeps the target line
+    /// busy (back-to-back transactions on one line serialize on this).
+    pub local_occupancy: u64,
+    /// How long a global (cross-node) transaction keeps the line busy.
+    pub global_occupancy: u64,
+    /// How long each coherence transaction occupies a node's snooping bus.
+    /// This is what couples lock traffic with data traffic: a release
+    /// stampede delays the very critical-section accesses the lock guards
+    /// (E6000 Gigaplane: 2.7 GB/s ≈ 10 cycles per 64-byte transaction).
+    pub bus_occupancy: u64,
+    /// How long each global transaction occupies the inter-node link
+    /// (WildFire: 800 MB/s per direction ≈ 25 cycles per transaction).
+    pub link_occupancy: u64,
+}
+
+impl LatencyModel {
+    /// The 2-node Sun WildFire prototype: 330 ns local memory, ~1700 ns
+    /// remote, NUCA ratio ≈ 6 for CMR-cached data.
+    pub const fn wildfire() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 2,
+            same_node_transfer: 70,
+            same_chip_transfer: 70,
+            local_memory: 82,
+            remote_transfer: 420,
+            remote_memory: 425,
+            atomic_extra: 30,
+            local_occupancy: 30,
+            global_occupancy: 130,
+            bus_occupancy: 25,
+            link_occupancy: 50,
+        }
+    }
+
+    /// A UMA Sun E6000 (single node): every transfer is "same node".
+    pub const fn e6000() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 2,
+            same_node_transfer: 70,
+            same_chip_transfer: 70,
+            local_memory: 82,
+            remote_transfer: 70,
+            remote_memory: 82,
+            atomic_extra: 30,
+            local_occupancy: 30,
+            global_occupancy: 30,
+            bus_occupancy: 10,
+            link_occupancy: 10,
+        }
+    }
+
+    /// Stanford DASH: NUCA ratio ≈ 4.5.
+    pub const fn dash() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 2,
+            same_node_transfer: 60,
+            same_chip_transfer: 60,
+            local_memory: 80,
+            remote_transfer: 270,
+            remote_memory: 280,
+            atomic_extra: 30,
+            local_occupancy: 28,
+            global_occupancy: 90,
+            bus_occupancy: 12,
+            link_occupancy: 30,
+        }
+    }
+
+    /// Sequent NUMA-Q: NUCA ratio ≈ 10.
+    pub const fn numa_q() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 2,
+            same_node_transfer: 60,
+            same_chip_transfer: 60,
+            local_memory: 80,
+            remote_transfer: 600,
+            remote_memory: 620,
+            atomic_extra: 30,
+            local_occupancy: 28,
+            global_occupancy: 180,
+            bus_occupancy: 12,
+            link_occupancy: 60,
+        }
+    }
+
+    /// A future CMP-based server (paper §2: ratio 6–10, on-chip sharing):
+    /// small absolute latencies, ratio 8.
+    pub const fn cmp() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 1,
+            same_node_transfer: 20,
+            same_chip_transfer: 20,
+            local_memory: 100,
+            remote_transfer: 160,
+            remote_memory: 180,
+            atomic_extra: 10,
+            local_occupancy: 10,
+            global_occupancy: 50,
+            bus_occupancy: 4,
+            link_occupancy: 12,
+        }
+    }
+
+    /// A hierarchical NUCA: a NUMA machine populated with CMP processors
+    /// (paper §2, "several levels of non-uniformity"). Three latency
+    /// classes: on-chip (20), cross-chip within the node (90), and remote
+    /// node (420).
+    pub const fn cmp_numa() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 2,
+            same_node_transfer: 90,
+            same_chip_transfer: 20,
+            local_memory: 100,
+            remote_transfer: 420,
+            remote_memory: 430,
+            atomic_extra: 20,
+            local_occupancy: 30,
+            global_occupancy: 130,
+            bus_occupancy: 25,
+            link_occupancy: 50,
+        }
+    }
+
+    /// The ratio of remote to same-node cache-to-cache transfer latency.
+    pub fn nuca_ratio(&self) -> f64 {
+        self.remote_transfer as f64 / self.same_node_transfer as f64
+    }
+
+    /// Returns this model with the remote transfer scaled so the NUCA
+    /// ratio becomes `ratio` (for sensitivity sweeps).
+    #[must_use]
+    pub fn with_nuca_ratio(mut self, ratio: f64) -> LatencyModel {
+        assert!(ratio >= 1.0, "NUCA ratio below 1 is not a NUCA");
+        self.remote_transfer = (self.same_node_transfer as f64 * ratio) as u64;
+        self.remote_memory = self.remote_transfer + 5;
+        self
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::wildfire()
+    }
+}
+
+/// Full description of a simulated machine run.
+///
+/// # Example
+///
+/// ```
+/// let cfg = nucasim::MachineConfig::wildfire(2, 14);
+/// assert_eq!(cfg.topology.num_cpus(), 28);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Node/CPU shape.
+    pub topology: Topology,
+    /// Latency and occupancy parameters.
+    pub latency: LatencyModel,
+    /// OS preemption model; `None` simulates an otherwise-idle machine.
+    pub preemption: Option<PreemptionConfig>,
+    /// Seed for all engine-internal randomness.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// A WildFire-like machine with `nodes` × `cpus_per_node` processors.
+    pub fn wildfire(nodes: usize, cpus_per_node: usize) -> MachineConfig {
+        MachineConfig {
+            topology: Topology::symmetric(nodes, cpus_per_node),
+            latency: LatencyModel::wildfire(),
+            preemption: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A single-node UMA E6000 with `cpus` processors.
+    pub fn e6000(cpus: usize) -> MachineConfig {
+        MachineConfig {
+            topology: Topology::single_node(cpus),
+            latency: LatencyModel::e6000(),
+            preemption: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Replaces the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> MachineConfig {
+        self.latency = latency;
+        self
+    }
+
+    /// Enables the preemption model.
+    #[must_use]
+    pub fn with_preemption(mut self, p: PreemptionConfig) -> MachineConfig {
+        self.preemption = Some(p);
+        self
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> MachineConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_ratios_match_paper_table() {
+        assert!((LatencyModel::wildfire().nuca_ratio() - 6.0).abs() < 0.5);
+        assert!((LatencyModel::dash().nuca_ratio() - 4.5).abs() < 0.5);
+        assert!((LatencyModel::numa_q().nuca_ratio() - 10.0).abs() < 0.5);
+        assert!((LatencyModel::e6000().nuca_ratio() - 1.0).abs() < 0.01);
+        let cmp = LatencyModel::cmp().nuca_ratio();
+        assert!((6.0..=10.0).contains(&cmp));
+    }
+
+    #[test]
+    fn with_nuca_ratio_rescales() {
+        let m = LatencyModel::wildfire().with_nuca_ratio(3.0);
+        assert!((m.nuca_ratio() - 3.0).abs() < 0.1);
+        assert_eq!(m.same_node_transfer, LatencyModel::wildfire().same_node_transfer);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a NUCA")]
+    fn sub_unity_ratio_rejected() {
+        let _ = LatencyModel::wildfire().with_nuca_ratio(0.5);
+    }
+
+    #[test]
+    fn cmp_numa_has_three_latency_classes() {
+        let m = LatencyModel::cmp_numa();
+        assert!(m.same_chip_transfer < m.same_node_transfer);
+        assert!(m.same_node_transfer < m.remote_transfer);
+        // Chip-to-remote gap is a full NUCA ratio class of its own.
+        assert!(m.remote_transfer / m.same_chip_transfer >= 10);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = MachineConfig::wildfire(2, 4)
+            .with_latency(LatencyModel::dash())
+            .with_seed(99);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.latency, LatencyModel::dash());
+        assert!(cfg.preemption.is_none());
+    }
+
+    #[test]
+    fn local_memory_matches_paper_lmbench() {
+        // 330 ns at 4 ns/cycle ≈ 82 cycles.
+        let m = LatencyModel::wildfire();
+        assert_eq!(crate::cycles_to_ns(m.local_memory), 328);
+        // ~1700 ns remote.
+        assert!((1600..1800).contains(&crate::cycles_to_ns(m.remote_transfer)));
+    }
+}

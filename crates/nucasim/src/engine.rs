@@ -1,0 +1,533 @@
+//! The discrete-event engine driving simulated CPUs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+use nuca_topology::{CpuId, Topology};
+
+use crate::config::MachineConfig;
+use crate::mem::{Addr, MemOp, MemorySystem};
+use crate::preempt::PreemptState;
+use crate::program::{Command, CpuCtx, Program};
+use crate::rng::SplitMix64;
+use crate::stats::{LockTrace, SimStats, TrafficCounts};
+
+struct CpuSlot {
+    program: Option<Box<dyn Program>>,
+    /// Value to hand to the next `resume`.
+    pending: Option<u64>,
+    /// Simulated time at which the program returned `Done`.
+    finished_at: Option<u64>,
+}
+
+impl fmt::Debug for CpuSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpuSlot")
+            .field("running", &self.program.is_some())
+            .field("finished_at", &self.finished_at)
+            .finish()
+    }
+}
+
+/// Outcome of a [`Machine::run`]: timing, statistics and final memory
+/// values, decoupled from the machine so it can outlive it.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulated time when the run stopped (cycles).
+    pub end_time: u64,
+    /// Whether every program reached `Done` before the limit.
+    pub finished_all: bool,
+    /// Per-CPU completion times (index = CPU id).
+    pub finish_times: Vec<Option<u64>>,
+    /// Coherence traffic generated during the run.
+    pub traffic: TrafficCounts,
+    /// Per-lock acquisition traces.
+    pub lock_traces: Vec<LockTrace>,
+    /// Final values of all allocated words.
+    values: Vec<u64>,
+    /// Preemption windows applied.
+    pub preemptions: u64,
+    /// Transactions served from the requester's own cache.
+    pub cache_hits: u64,
+}
+
+impl SimReport {
+    /// The final value of `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not allocated in the machine that produced
+    /// this report.
+    pub fn final_value(&self, addr: Addr) -> u64 {
+        self.values[addr.index()]
+    }
+
+    /// End-to-end time in seconds of simulated execution.
+    pub fn seconds(&self) -> f64 {
+        crate::cycles_to_secs(self.end_time)
+    }
+
+    /// Latest per-CPU finish time, or `None` if any CPU never finished.
+    pub fn last_finish(&self) -> Option<u64> {
+        self.finish_times
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+
+    /// Spread between first and last finisher as a fraction of the last
+    /// finish time — the paper's fairness metric (Fig. 8).
+    pub fn finish_spread(&self) -> Option<f64> {
+        let times: Vec<u64> = self.finish_times.iter().copied().collect::<Option<_>>()?;
+        let (min, max) = (
+            *times.iter().min()?,
+            *times.iter().max()?,
+        );
+        if max == 0 {
+            return Some(0.0);
+        }
+        Some((max - min) as f64 / max as f64)
+    }
+}
+
+/// The simulated machine: topology + memory + CPUs + event queue.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Machine {
+    topo: Arc<Topology>,
+    mem: MemorySystem,
+    stats: SimStats,
+    cpus: Vec<CpuSlot>,
+    /// Min-heap of `(time, seq, cpu)` resume events.
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    time: u64,
+    seq: u64,
+    preempt: Option<PreemptState>,
+}
+
+impl Machine {
+    /// Builds an idle machine from `cfg`.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let topo = Arc::new(cfg.topology);
+        let mut rng = SplitMix64::new(cfg.seed);
+        let preempt = cfg
+            .preemption
+            .map(|p| PreemptState::new(p, topo.num_cpus(), &mut rng));
+        let cpus = (0..topo.num_cpus())
+            .map(|_| CpuSlot {
+                program: None,
+                pending: None,
+                finished_at: None,
+            })
+            .collect();
+        Machine {
+            mem: MemorySystem::new(Arc::clone(&topo), cfg.latency),
+            topo,
+            stats: SimStats::new(),
+            cpus,
+            heap: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            preempt,
+        }
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Mutable access to simulated memory (allocate and initialize words
+    /// before running).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Read access to simulated memory.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Installs `program` on `cpu`, scheduled to start at the current
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside the topology or already runs a program.
+    pub fn add_program(&mut self, cpu: CpuId, program: Box<dyn Program>) {
+        let slot = &mut self.cpus[cpu.index()];
+        assert!(slot.program.is_none(), "{cpu} already has a program");
+        slot.program = Some(program);
+        slot.pending = None;
+        slot.finished_at = None;
+        self.push_event(self.time, cpu.index());
+    }
+
+    fn push_event(&mut self, t: u64, cpu: usize) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, self.seq, cpu)));
+    }
+
+    /// Schedules a resume at `t`, sliding past preemption windows.
+    fn schedule_resume(&mut self, cpu: usize, t: u64, value: Option<u64>) {
+        let t = if let Some(p) = self.preempt.as_mut() {
+            let (adj, applied) = p.adjust(cpu, t);
+            for _ in 0..applied {
+                self.stats.count_preemption();
+            }
+            adj
+        } else {
+            t
+        };
+        self.cpus[cpu].pending = value;
+        self.push_event(t, cpu);
+    }
+
+    /// Runs until every program finishes or `limit` cycles elapse.
+    /// Returns a [`SimReport`]; the machine may be `run` again with a
+    /// larger limit to continue an unfinished simulation.
+    pub fn run(&mut self, limit: u64) -> SimReport {
+        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+            if t > limit {
+                break;
+            }
+            let Reverse((t, _, cpu)) = self.heap.pop().expect("peeked");
+            self.time = t;
+            let Some(mut program) = self.cpus[cpu].program.take() else {
+                continue; // stale event for a finished CPU
+            };
+            let last = self.cpus[cpu].pending.take();
+            let command = {
+                let mut ctx = CpuCtx {
+                    cpu: CpuId(cpu),
+                    node: self.topo.node_of(CpuId(cpu)),
+                    now: t,
+                    stats: &mut self.stats,
+                };
+                program.resume(&mut ctx, last)
+            };
+            match command {
+                Command::Done => {
+                    self.cpus[cpu].finished_at = Some(t);
+                    // program dropped
+                    continue;
+                }
+                Command::Delay(d) => {
+                    self.schedule_resume(cpu, t + d.max(1), None);
+                }
+                Command::WaitWhile { addr, equals } => {
+                    match self
+                        .mem
+                        .wait_while(t, CpuId(cpu), addr, equals, &mut self.stats)
+                    {
+                        Some((done, v)) => self.schedule_resume(cpu, done, Some(v)),
+                        None => {
+                            // Parked: a future write wakes this CPU.
+                        }
+                    }
+                }
+                mem_cmd => {
+                    let (addr, op) = match mem_cmd {
+                        Command::Read(a) => (a, MemOp::Read),
+                        Command::Write(a, v) => (a, MemOp::Write(v)),
+                        Command::Cas {
+                            addr,
+                            expected,
+                            new,
+                        } => (addr, MemOp::Cas { expected, new }),
+                        Command::Swap { addr, value } => (addr, MemOp::Swap(value)),
+                        Command::Tas(a) => (a, MemOp::Tas),
+                        Command::FetchAdd { addr, delta } => (addr, MemOp::FetchAdd(delta)),
+                        _ => unreachable!("non-memory commands handled above"),
+                    };
+                    let out = self.mem.access(t, CpuId(cpu), addr, op, &mut self.stats);
+                    // Wake any watchers first so their events are ordered.
+                    let woken = out.woken;
+                    for (wcpu, wake_at, wval) in woken {
+                        self.schedule_resume(wcpu.index(), wake_at, Some(wval));
+                    }
+                    self.schedule_resume(cpu, out.complete_at, Some(out.value));
+                }
+            }
+            self.cpus[cpu].program = Some(program);
+        }
+
+        let finish_times: Vec<Option<u64>> = self.cpus.iter().map(|c| c.finished_at).collect();
+        // A CPU still holding a program (running or parked) is unfinished;
+        // CPUs that never received a program do not count against the run.
+        let finished_all = self.cpus.iter().all(|c| c.program.is_none());
+        let values = (0..self.mem.len())
+            .map(|i| self.mem.peek(Addr(i as u32)))
+            .collect();
+        SimReport {
+            end_time: self.time,
+            finished_all,
+            finish_times,
+            traffic: self.stats.traffic(),
+            lock_traces: self.stats.lock_traces().to_vec(),
+            values,
+            preemptions: self.stats.preemptions(),
+            cache_hits: self.stats.cache_hits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use nuca_topology::NodeId;
+
+    /// Writes `value` then finishes.
+    struct WriteOnce {
+        addr: Addr,
+        value: u64,
+        wrote: bool,
+    }
+
+    impl Program for WriteOnce {
+        fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _last: Option<u64>) -> Command {
+            if self.wrote {
+                Command::Done
+            } else {
+                self.wrote = true;
+                Command::Write(self.addr, self.value)
+            }
+        }
+    }
+
+    /// Waits for `addr` to stop being 0, records the observed value, done.
+    struct Waiter {
+        addr: Addr,
+        observed: Addr,
+        state: u8,
+    }
+
+    impl Program for Waiter {
+        fn resume(&mut self, _ctx: &mut CpuCtx<'_>, last: Option<u64>) -> Command {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Command::WaitWhile {
+                        addr: self.addr,
+                        equals: 0,
+                    }
+                }
+                1 => {
+                    self.state = 2;
+                    Command::Write(self.observed, last.expect("wait returns value"))
+                }
+                _ => Command::Done,
+            }
+        }
+    }
+
+    #[test]
+    fn single_writer_finishes() {
+        let mut m = Machine::new(MachineConfig::wildfire(2, 2));
+        let a = m.mem_mut().alloc(NodeId(0));
+        m.add_program(
+            CpuId(0),
+            Box::new(WriteOnce {
+                addr: a,
+                value: 42,
+                wrote: false,
+            }),
+        );
+        let r = m.run(10_000);
+        assert!(r.finished_all);
+        assert_eq!(r.final_value(a), 42);
+        assert!(r.finish_times[0].is_some());
+        assert!(r.finish_times[1].is_none(), "idle CPU never finishes");
+    }
+
+    #[test]
+    fn waiter_wakes_on_write() {
+        let mut m = Machine::new(MachineConfig::wildfire(2, 2));
+        let flag = m.mem_mut().alloc(NodeId(0));
+        let obs = m.mem_mut().alloc(NodeId(1));
+        // CPU 3 (node 1) waits; CPU 0 writes after a delay.
+        m.add_program(
+            CpuId(3),
+            Box::new(Waiter {
+                addr: flag,
+                observed: obs,
+                state: 0,
+            }),
+        );
+        struct DelayedWrite {
+            addr: Addr,
+            step: u8,
+        }
+        impl Program for DelayedWrite {
+            fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                self.step += 1;
+                match self.step {
+                    1 => Command::Delay(5_000),
+                    2 => Command::Write(self.addr, 7),
+                    _ => Command::Done,
+                }
+            }
+        }
+        m.add_program(CpuId(0), Box::new(DelayedWrite { addr: flag, step: 0 }));
+        let r = m.run(1_000_000);
+        assert!(r.finished_all);
+        assert_eq!(r.final_value(obs), 7, "waiter observed the woken value");
+        // The waiter finished after the writer's store.
+        assert!(r.finish_times[3].unwrap() > 5_000);
+    }
+
+    #[test]
+    fn unfinished_run_reports_false_and_can_continue() {
+        let mut m = Machine::new(MachineConfig::wildfire(1, 1));
+        struct LongDelay {
+            step: u8,
+        }
+        impl Program for LongDelay {
+            fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                self.step += 1;
+                match self.step {
+                    1 => Command::Delay(1_000_000),
+                    _ => Command::Done,
+                }
+            }
+        }
+        m.add_program(CpuId(0), Box::new(LongDelay { step: 0 }));
+        let r = m.run(10);
+        assert!(!r.finished_all);
+        let r = m.run(2_000_000);
+        assert!(r.finished_all);
+    }
+
+    #[test]
+    fn deadlocked_waiters_reported_unfinished() {
+        let mut m = Machine::new(MachineConfig::wildfire(1, 2));
+        let flag = m.mem_mut().alloc(NodeId(0));
+        m.add_program(
+            CpuId(0),
+            Box::new(Waiter {
+                addr: flag,
+                observed: flag,
+                state: 0,
+            }),
+        );
+        let r = m.run(1_000_000);
+        assert!(!r.finished_all, "nobody ever writes the flag");
+    }
+
+    #[test]
+    fn atomic_increments_from_all_cpus_sum_exactly() {
+        let mut m = Machine::new(MachineConfig::wildfire(2, 4));
+        let a = m.mem_mut().alloc(NodeId(0));
+        struct Incr {
+            addr: Addr,
+            left: u32,
+        }
+        impl Program for Incr {
+            fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                if self.left == 0 {
+                    return Command::Done;
+                }
+                self.left -= 1;
+                Command::FetchAdd {
+                    addr: self.addr,
+                    delta: 1,
+                }
+            }
+        }
+        for cpu in 0..8 {
+            m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 100 }));
+        }
+        let r = m.run(100_000_000);
+        assert!(r.finished_all);
+        assert_eq!(r.final_value(a), 800);
+        assert!(r.traffic.global > 0, "cross-node increments cross the wire");
+        assert!(r.traffic.local > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        fn run_once(seed: u64) -> (u64, TrafficCounts) {
+            let mut m = Machine::new(MachineConfig::wildfire(2, 4).with_seed(seed));
+            let a = m.mem_mut().alloc(NodeId(0));
+            struct Incr {
+                addr: Addr,
+                left: u32,
+            }
+            impl Program for Incr {
+                fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                    if self.left == 0 {
+                        return Command::Done;
+                    }
+                    self.left -= 1;
+                    Command::FetchAdd {
+                        addr: self.addr,
+                        delta: 1,
+                    }
+                }
+            }
+            for cpu in 0..8 {
+                m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 50 }));
+            }
+            let r = m.run(100_000_000);
+            (r.end_time, r.traffic)
+        }
+        assert_eq!(run_once(11), run_once(11));
+    }
+
+    #[test]
+    fn preemption_slows_execution() {
+        fn run_once(preempt: bool) -> u64 {
+            let mut cfg = MachineConfig::wildfire(1, 2);
+            if preempt {
+                cfg = cfg.with_preemption(crate::PreemptionConfig {
+                    mean_gap: 10_000,
+                    quantum: 50_000,
+                });
+            }
+            let mut m = Machine::new(cfg);
+            struct Delays {
+                left: u32,
+            }
+            impl Program for Delays {
+                fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                    if self.left == 0 {
+                        return Command::Done;
+                    }
+                    self.left -= 1;
+                    Command::Delay(1_000)
+                }
+            }
+            m.add_program(CpuId(0), Box::new(Delays { left: 100 }));
+            let r = m.run(u64::MAX / 2);
+            assert!(r.finished_all);
+            r.end_time
+        }
+        assert!(run_once(true) > 2 * run_once(false));
+    }
+
+    #[test]
+    fn finish_spread_metric() {
+        let r = SimReport {
+            end_time: 100,
+            finished_all: true,
+            finish_times: vec![Some(80), Some(100)],
+            traffic: TrafficCounts::default(),
+            lock_traces: Vec::new(),
+            values: Vec::new(),
+            preemptions: 0,
+            cache_hits: 0,
+        };
+        assert_eq!(r.finish_spread(), Some(0.2));
+        assert_eq!(r.last_finish(), Some(100));
+    }
+}

@@ -1,0 +1,100 @@
+//! A deterministic discrete-event simulator of nonuniform communication
+//! architectures (NUCAs).
+//!
+//! The HPCA 2003 HBO-lock paper evaluates its algorithms on a 2-node Sun
+//! WildFire (up to 30 UltraSPARC II processors, NUCA ratio ≈ 6). This crate
+//! substitutes for that machine: it models exactly the mechanisms the
+//! paper's results depend on —
+//!
+//! * **latency classes**: own cache hit, same-node cache-to-cache transfer,
+//!   local memory, remote transfer (the NUCA ratio), parameterized by
+//!   [`LatencyModel`] presets taken from the paper's published numbers;
+//! * **line serialization**: concurrent coherence transactions on one cache
+//!   line queue up ([`LatencyModel::local_occupancy`]), which is what makes
+//!   lock handover degrade with contention;
+//! * **invalidation-based spinning**: a simulated processor spinning on a
+//!   cached word costs nothing until a writer invalidates it
+//!   ([`Command::WaitWhile`]), then pays a refill transaction — the source
+//!   of the TATAS release burst;
+//! * **traffic accounting**: every coherence transaction is classified
+//!   local (within the requester's node) or global (crossing the
+//!   interconnect), regenerating the paper's Tables 2 and 6;
+//! * **OS preemption** (optional): random multi-millisecond preemption
+//!   windows per CPU, the mechanism behind the queue-lock collapse in the
+//!   paper's 30-processor runs (Table 4).
+//!
+//! Simulated processors run [`Program`]s — resumable state machines that
+//! issue [`Command`]s (memory operations, delays). The engine is fully
+//! deterministic for a given seed; one cycle is 4 ns (250 MHz, the paper's
+//! E6000 clock).
+//!
+//! # Example
+//!
+//! ```
+//! use nucasim::{Command, CpuCtx, Machine, MachineConfig, Program};
+//!
+//! /// Increments a shared counter 10 times with an atomic fetch-add.
+//! struct Incr {
+//!     addr: nucasim::Addr,
+//!     left: u32,
+//! }
+//!
+//! impl Program for Incr {
+//!     fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _last: Option<u64>) -> Command {
+//!         if self.left == 0 {
+//!             return Command::Done;
+//!         }
+//!         self.left -= 1;
+//!         Command::FetchAdd { addr: self.addr, delta: 1 }
+//!     }
+//! }
+//!
+//! let cfg = MachineConfig::wildfire(2, 2);
+//! let mut machine = Machine::new(cfg);
+//! let counter = machine.mem_mut().alloc(nuca_topology::NodeId(0));
+//! for cpu in machine.topology().cpus() {
+//!     machine.add_program(cpu, Box::new(Incr { addr: counter, left: 10 }));
+//! }
+//! let report = machine.run(1_000_000);
+//! assert!(report.finished_all);
+//! assert_eq!(report.final_value(counter), 40);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod mem;
+mod preempt;
+mod program;
+mod rng;
+mod stats;
+
+pub use config::{LatencyModel, MachineConfig};
+pub use engine::{Machine, SimReport};
+pub use mem::{Addr, MemOp, MemorySystem};
+pub use preempt::PreemptionConfig;
+pub use program::{Command, CpuCtx, Program};
+pub use rng::SplitMix64;
+pub use stats::{LockTrace, SimStats, TrafficCounts};
+
+/// Cycles per second of the simulated processors (250 MHz, the paper's
+/// UltraSPARC II clock). One cycle is 4 ns.
+pub const CYCLES_PER_SECOND: u64 = 250_000_000;
+
+/// Converts simulated cycles to nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(nucasim::cycles_to_ns(250), 1000);
+/// ```
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    cycles * 1_000_000_000 / CYCLES_PER_SECOND
+}
+
+/// Converts simulated cycles to seconds.
+pub fn cycles_to_secs(cycles: u64) -> f64 {
+    cycles as f64 / CYCLES_PER_SECOND as f64
+}

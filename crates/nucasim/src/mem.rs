@@ -1,0 +1,743 @@
+//! The simulated memory system: lines, coherence, latencies, watchers.
+//!
+//! Every allocated [`Addr`] is one cache-line-sized word with a home node.
+//! A line tracks an exclusive owner (a CPU whose cache holds it modified)
+//! or a set of sharers, plus a `busy_until` occupancy horizon — coherence
+//! transactions targeting the same line serialize on it, which is the
+//! mechanism behind lock-handover slowdown at high contention.
+//!
+//! Spinning is modeled with *watchers*: a CPU that would spin on a cached
+//! value registers interest and sleeps; the next conflicting write wakes it
+//! with a refill transaction (invalidate + re-fetch), exactly the cost
+//! structure of test-and-test&set spinning on real coherent hardware.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nuca_topology::{CpuId, NodeId, Topology};
+
+use crate::config::LatencyModel;
+use crate::stats::SimStats;
+
+/// Identifier of one simulated memory word (its own cache line).
+///
+/// `Addr`s are dense indices into the [`MemorySystem`]. The encoded form
+/// ([`Addr::encode`]) is a nonzero `u64` suitable for storing *in* simulated
+/// memory — queue locks store pointers to their queue nodes this way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub(crate) u32);
+
+impl Addr {
+    /// Nonzero `u64` form for storing this address in simulated memory.
+    pub fn encode(self) -> u64 {
+        u64::from(self.0) + 1
+    }
+
+    /// Inverse of [`Addr::encode`]; `None` for 0 (the null encoding).
+    pub fn decode(v: u64) -> Option<Addr> {
+        if v == 0 || v > u64::from(u32::MAX) {
+            None
+        } else {
+            Some(Addr((v - 1) as u32))
+        }
+    }
+
+    /// The dense index of this address.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr{}", self.0)
+    }
+}
+
+/// One memory operation a program can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Plain load; returns the value.
+    Read,
+    /// Plain store; returns the *old* value.
+    Write(u64),
+    /// Atomic compare-and-swap; returns the old value.
+    Cas {
+        /// Value the word must hold for the swap to happen.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Atomic swap; returns the old value.
+    Swap(u64),
+    /// Atomic test-and-set (write 1); returns the old value.
+    Tas,
+    /// Atomic fetch-and-add; returns the old value.
+    FetchAdd(u64),
+}
+
+impl MemOp {
+    /// Whether the operation needs exclusive ownership of the line.
+    ///
+    /// Atomics always fetch exclusive — even a failing `cas` steals the
+    /// line from its owner, which is why undisciplined `cas` spinning is
+    /// expensive and backoff matters.
+    pub fn is_write(self) -> bool {
+        !matches!(self, MemOp::Read)
+    }
+
+    /// Whether the operation is an atomic read-modify-write.
+    pub fn is_atomic(self) -> bool {
+        matches!(
+            self,
+            MemOp::Cas { .. } | MemOp::Swap(_) | MemOp::Tas | MemOp::FetchAdd(_)
+        )
+    }
+}
+
+/// Where a miss was served from, for latency selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Hit,
+    /// Same innermost group (CMP chip) — hierarchical topologies only.
+    SameChipCache,
+    SameNodeCache,
+    LocalMemory,
+    RemoteCache,
+    RemoteMemory,
+}
+
+#[derive(Debug)]
+struct Line {
+    home: NodeId,
+    value: u64,
+    /// CPU holding the line modified/exclusive.
+    owner: Option<CpuId>,
+    /// CPUs holding shared copies (bitmask; the simulator supports up to
+    /// 128 CPUs, more than the largest machine in the paper).
+    sharers: u128,
+    /// Time until which the line's coherence agent is busy.
+    busy_until: u64,
+    /// CPUs sleeping until this line's value changes, with the value they
+    /// are waiting to see change.
+    watchers: Vec<Watcher>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cpu: CpuId,
+    /// Wake when the line's value differs from this.
+    equals: u64,
+}
+
+/// A completed access: when it finishes, what it returned, and which
+/// watchers it woke.
+#[derive(Debug)]
+pub(crate) struct AccessOutcome {
+    pub complete_at: u64,
+    pub value: u64,
+    /// `(cpu, wake_time, observed_value)` for each woken watcher.
+    pub woken: Vec<(CpuId, u64, u64)>,
+}
+
+/// The simulated memory: allocation, coherence state, and access costing.
+#[derive(Debug)]
+pub struct MemorySystem {
+    topo: Arc<Topology>,
+    latency: LatencyModel,
+    lines: Vec<Line>,
+    /// Per-node snooping-bus occupancy horizon: every coherence
+    /// transaction touching a node serializes on its bus, so lock storms
+    /// slow down unrelated data accesses (the paper's interference).
+    bus_until: Vec<u64>,
+    /// Inter-node link occupancy horizon (one shared resource, matching
+    /// the WildFire's single interface).
+    link_until: u64,
+}
+
+impl MemorySystem {
+    pub(crate) fn new(topo: Arc<Topology>, latency: LatencyModel) -> MemorySystem {
+        let nodes = topo.num_nodes();
+        MemorySystem {
+            topo,
+            latency,
+            lines: Vec::new(),
+            bus_until: vec![0; nodes],
+            link_until: 0,
+        }
+    }
+
+    /// Allocates a fresh zero-initialized word homed in `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the machine's topology.
+    pub fn alloc(&mut self, node: NodeId) -> Addr {
+        assert!(
+            node.index() < self.topo.num_nodes(),
+            "{node} outside topology"
+        );
+        let addr = Addr(u32::try_from(self.lines.len()).expect("address space exhausted"));
+        self.lines.push(Line {
+            home: node,
+            value: 0,
+            owner: None,
+            sharers: 0,
+            busy_until: 0,
+            watchers: Vec::new(),
+        });
+        addr
+    }
+
+    /// Allocates `n` words homed in `node`.
+    pub fn alloc_array(&mut self, node: NodeId, n: usize) -> Vec<Addr> {
+        (0..n).map(|_| self.alloc(node)).collect()
+    }
+
+    /// Number of allocated words.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no words have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The current value of a word (debug/assertion use; does not model a
+    /// coherence transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not allocated.
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.lines[addr.index()].value
+    }
+
+    /// Directly sets a word's value without simulating an access (for
+    /// initialization before the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not allocated.
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.lines[addr.index()].value = value;
+    }
+
+    /// The home node of a word.
+    pub fn home(&self, addr: Addr) -> NodeId {
+        self.lines[addr.index()].home
+    }
+
+    fn source_latency(&self, src: Source) -> u64 {
+        match src {
+            Source::Hit => self.latency.l1_hit,
+            Source::SameChipCache => self.latency.same_chip_transfer,
+            Source::SameNodeCache => self.latency.same_node_transfer,
+            Source::LocalMemory => self.latency.local_memory,
+            Source::RemoteCache => self.latency.remote_transfer,
+            Source::RemoteMemory => self.latency.remote_memory,
+        }
+    }
+
+    fn apply_op(value: &mut u64, op: MemOp) -> u64 {
+        let old = *value;
+        match op {
+            MemOp::Read => {}
+            MemOp::Write(v) => *value = v,
+            MemOp::Cas { expected, new } => {
+                if old == expected {
+                    *value = new;
+                }
+            }
+            MemOp::Swap(v) => *value = v,
+            MemOp::Tas => *value = 1,
+            MemOp::FetchAdd(d) => *value = old.wrapping_add(d),
+        }
+        old
+    }
+
+    /// Performs `op` by `cpu` on `addr`, starting at `now`.
+    ///
+    /// The value effect is applied immediately (transactions on one line
+    /// are serialized by the event order, which is also the coherence
+    /// order); the returned completion time reflects latency and line
+    /// occupancy. Traffic is recorded into `stats`.
+    pub(crate) fn access(
+        &mut self,
+        now: u64,
+        cpu: CpuId,
+        addr: Addr,
+        op: MemOp,
+        stats: &mut SimStats,
+    ) -> AccessOutcome {
+        let my_node = self.topo.node_of(cpu);
+        let lat = self.latency;
+
+        // Phase 1: classify the access against current line state.
+        let (src, src_node, prev_owner, prev_sharers) = {
+            let line = &self.lines[addr.index()];
+            let (src, src_node) = if line.owner == Some(cpu)
+                || (!op.is_write()
+                    && line.owner.is_none()
+                    && line.sharers & (1 << cpu.index()) != 0)
+            {
+                (Source::Hit, my_node)
+            } else if let Some(owner) = line.owner {
+                let on = self.topo.node_of(owner);
+                if on == my_node {
+                    // On hierarchical machines, a transfer within the
+                    // innermost group stays on-chip.
+                    if self.topo.extra_levels() > 0 && self.topo.distance(cpu, owner) <= 1 {
+                        (Source::SameChipCache, on)
+                    } else {
+                        (Source::SameNodeCache, on)
+                    }
+                } else {
+                    (Source::RemoteCache, on)
+                }
+            } else if line.home == my_node {
+                (Source::LocalMemory, line.home)
+            } else {
+                (Source::RemoteMemory, line.home)
+            };
+            (src, src_node, line.owner, line.sharers)
+        };
+
+        let mut latency = self.source_latency(src);
+        if op.is_atomic() {
+            latency += lat.atomic_extra;
+        }
+
+        // Phase 2: timing, occupancy and traffic. A missing transaction
+        // arbitrates for the line, the requester's node bus, and — when it
+        // crosses nodes — the source node's bus plus the inter-node link.
+        let start;
+        if src == Source::Hit {
+            // Hits do not arbitrate for any shared resource.
+            stats.count_hit();
+            start = now;
+        } else if src == Source::SameChipCache {
+            // On-chip transfer: serializes on the line but stays off the
+            // node's snooping bus and the interconnect.
+            stats.count_local();
+            let line = &mut self.lines[addr.index()];
+            start = now.max(line.busy_until);
+            line.busy_until = start + lat.local_occupancy;
+        } else {
+            let global = matches!(src, Source::RemoteCache | Source::RemoteMemory);
+            if global {
+                stats.count_global();
+            } else {
+                stats.count_local();
+            }
+            let line_busy = self.lines[addr.index()].busy_until;
+            let mut s = now.max(line_busy).max(self.bus_until[my_node.index()]);
+            if global {
+                s = s
+                    .max(self.link_until)
+                    .max(self.bus_until[src_node.index()]);
+            }
+            start = s;
+            self.lines[addr.index()].busy_until = start
+                + if global {
+                    lat.global_occupancy
+                } else {
+                    lat.local_occupancy
+                };
+            // Atomic read-modify-writes cannot be split on a snooping bus:
+            // they hold bus resources for several address slots.
+            let bus_occ = if op.is_atomic() {
+                lat.bus_occupancy * 2
+            } else {
+                lat.bus_occupancy
+            };
+            self.bus_until[my_node.index()] = start + bus_occ;
+            if global {
+                self.bus_until[src_node.index()] = start + bus_occ;
+                self.link_until = start
+                    + if op.is_atomic() {
+                        lat.link_occupancy * 2
+                    } else {
+                        lat.link_occupancy
+                    };
+            }
+        }
+        let complete_at = start + latency;
+
+        // Invalidation traffic: a write that found the line *unowned* but
+        // shared sends one invalidation per other node holding a copy (the
+        // data fetch above already paid for reaching a modified owner).
+        if op.is_write() && prev_owner.is_none() {
+            let mut inval_nodes = 0u64; // bitmask over nodes
+            let mut sharers = prev_sharers;
+            while sharers != 0 {
+                let c = sharers.trailing_zeros() as usize;
+                sharers &= sharers - 1;
+                if c != cpu.index() {
+                    inval_nodes |= 1 << self.topo.node_of(CpuId(c)).index();
+                }
+            }
+            while inval_nodes != 0 {
+                let n = inval_nodes.trailing_zeros() as usize;
+                inval_nodes &= inval_nodes - 1;
+                if NodeId(n) == my_node {
+                    stats.count_local();
+                } else {
+                    stats.count_global();
+                }
+            }
+        }
+
+        // Phase 3: apply the value effect and update coherence state.
+        let (old, new_value) = {
+            let line = &mut self.lines[addr.index()];
+            let old = Self::apply_op(&mut line.value, op);
+            if op.is_write() {
+                line.owner = Some(cpu);
+                line.sharers = 0;
+            } else {
+                // Read: a previous modified owner's data is now shared.
+                if let Some(owner) = line.owner.take() {
+                    line.sharers |= 1 << owner.index();
+                }
+                line.sharers |= 1 << cpu.index();
+            }
+            (old, line.value)
+        };
+
+        // Phase 4: wake watchers whose condition now holds. Each wake is a
+        // refill — an invalidate-then-refetch transaction from the new
+        // owner — and refills serialize on the line's occupancy.
+        let mut woken = Vec::new();
+        if op.is_write() {
+            let watchers = std::mem::take(&mut self.lines[addr.index()].watchers);
+            if !watchers.is_empty() {
+                let mut kept = Vec::new();
+                let mut busy = self.lines[addr.index()].busy_until.max(complete_at);
+                let mut new_sharers = 0u128;
+                for w in watchers {
+                    // *Every* write invalidates every spinner's cached
+                    // copy; each refills (traffic + bus time) and
+                    // re-checks. Spinners whose condition still fails stay
+                    // parked but have already paid — this is the O(N²)
+                    // test-and-test&set stampede.
+                    let w_node = self.topo.node_of(w.cpu);
+                    let global = w_node != my_node;
+                    let (refill, occ) = if global {
+                        stats.count_global();
+                        (lat.remote_transfer, lat.global_occupancy)
+                    } else {
+                        stats.count_local();
+                        (lat.same_node_transfer, lat.local_occupancy)
+                    };
+                    // The refill burst arbitrates for the same shared
+                    // resources as any other transaction.
+                    let mut s = busy.max(self.bus_until[w_node.index()]);
+                    if global {
+                        s = s
+                            .max(self.link_until)
+                            .max(self.bus_until[my_node.index()]);
+                    }
+                    let wake_at = s + refill;
+                    busy = s + occ;
+                    self.bus_until[w_node.index()] = s + lat.bus_occupancy;
+                    if global {
+                        self.bus_until[my_node.index()] = s + lat.bus_occupancy;
+                        self.link_until = s + lat.link_occupancy;
+                    }
+                    new_sharers |= 1 << w.cpu.index();
+                    if new_value != w.equals {
+                        woken.push((w.cpu, wake_at, new_value));
+                    } else {
+                        kept.push(w);
+                    }
+                }
+                let line = &mut self.lines[addr.index()];
+                line.watchers = kept;
+                line.busy_until = busy;
+                line.sharers |= new_sharers;
+                // Refilled watchers demote the writer's copy to shared.
+                if !woken.is_empty() {
+                    if let Some(owner) = line.owner.take() {
+                        line.sharers |= 1 << owner.index();
+                    }
+                }
+            }
+        }
+
+        AccessOutcome {
+            complete_at,
+            value: old,
+            woken,
+        }
+    }
+
+    /// Begins a `WaitWhile`: if the word already differs from `equals`,
+    /// returns the read outcome; otherwise registers `cpu` as a watcher
+    /// and returns `None` (the engine will be woken by a future write).
+    ///
+    /// A spinner that does not hold a valid copy of the line must fetch it
+    /// to observe that the value has not changed — that read transaction
+    /// is charged here even though the CPU then sleeps. This is the
+    /// re-read a failed `tas` performs before resuming its load loop.
+    pub(crate) fn wait_while(
+        &mut self,
+        now: u64,
+        cpu: CpuId,
+        addr: Addr,
+        equals: u64,
+        stats: &mut SimStats,
+    ) -> Option<(u64, u64)> {
+        if self.lines[addr.index()].value != equals {
+            let out = self.access(now, cpu, addr, MemOp::Read, stats);
+            return Some((out.complete_at, out.value));
+        }
+        let holds_copy = {
+            let line = &self.lines[addr.index()];
+            line.owner == Some(cpu) || line.sharers & (1 << cpu.index()) != 0
+        };
+        if !holds_copy {
+            // Fetch the line (traffic + line/bus occupancy) before
+            // sleeping on it.
+            let _ = self.access(now, cpu, addr, MemOp::Read, stats);
+        }
+        self.lines[addr.index()].watchers.push(Watcher { cpu, equals });
+        None
+    }
+
+    /// Drops any watcher registration for `cpu` on `addr` (used when a
+    /// program is torn down mid-wait).
+    #[allow(dead_code)]
+    pub(crate) fn cancel_watch(&mut self, cpu: CpuId, addr: Addr) {
+        self.lines[addr.index()].watchers.retain(|w| w.cpu != cpu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyModel;
+    use nuca_topology::Topology;
+
+    fn mem2x2() -> (MemorySystem, SimStats) {
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        (
+            MemorySystem::new(topo, LatencyModel::wildfire()),
+            SimStats::new(),
+        )
+    }
+
+    #[test]
+    fn addr_encoding_roundtrip() {
+        let a = Addr(0);
+        assert_eq!(a.encode(), 1);
+        assert_eq!(Addr::decode(1), Some(a));
+        assert_eq!(Addr::decode(0), None);
+        let b = Addr(41);
+        assert_eq!(Addr::decode(b.encode()), Some(b));
+    }
+
+    #[test]
+    fn ops_apply_correct_values() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        let cpu = CpuId(0);
+        assert_eq!(mem.access(0, cpu, a, MemOp::Write(5), &mut st).value, 0);
+        assert_eq!(mem.peek(a), 5);
+        assert_eq!(
+            mem.access(0, cpu, a, MemOp::Cas { expected: 5, new: 7 }, &mut st).value,
+            5
+        );
+        assert_eq!(mem.peek(a), 7);
+        assert_eq!(
+            mem.access(0, cpu, a, MemOp::Cas { expected: 5, new: 9 }, &mut st).value,
+            7,
+            "failed cas returns old value"
+        );
+        assert_eq!(mem.peek(a), 7, "failed cas does not write");
+        assert_eq!(mem.access(0, cpu, a, MemOp::Swap(1), &mut st).value, 7);
+        assert_eq!(mem.access(0, cpu, a, MemOp::Tas, &mut st).value, 1);
+        assert_eq!(mem.access(0, cpu, a, MemOp::FetchAdd(3), &mut st).value, 1);
+        assert_eq!(mem.peek(a), 4);
+        assert_eq!(mem.access(0, cpu, a, MemOp::Read, &mut st).value, 4);
+    }
+
+    #[test]
+    fn latency_classes_ordered() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        // CPU 0 (node 0) writes: local memory fetch.
+        let w0 = mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        let t_local_mem = w0.complete_at;
+        // CPU 1 (node 0) writes: same-node cache-to-cache.
+        let w1 = mem.access(w0.complete_at, CpuId(1), a, MemOp::Write(2), &mut st);
+        let t_same = w1.complete_at - w0.complete_at;
+        // CPU 2 (node 1) writes: remote cache-to-cache.
+        let w2 = mem.access(w1.complete_at, CpuId(2), a, MemOp::Write(3), &mut st);
+        let t_remote = w2.complete_at - w1.complete_at;
+        assert!(t_same < t_local_mem + 10, "cache transfer beats memory+eps");
+        assert!(
+            t_remote > 4 * t_same,
+            "NUCA ratio visible: remote {t_remote} vs same-node {t_same}"
+        );
+        // Re-write by the owner is a hit.
+        let w3 = mem.access(w2.complete_at, CpuId(2), a, MemOp::Write(4), &mut st);
+        assert!(w3.complete_at - w2.complete_at <= LatencyModel::wildfire().l1_hit);
+    }
+
+    #[test]
+    fn traffic_classification() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st); // local mem fetch
+        assert_eq!(st.traffic().local, 1);
+        assert_eq!(st.traffic().global, 0);
+        mem.access(100, CpuId(2), a, MemOp::Write(2), &mut st); // remote cache fetch
+        assert_eq!(st.traffic().global, 1);
+        mem.access(200, CpuId(2), a, MemOp::Write(3), &mut st); // hit
+        assert_eq!(st.traffic().total(), 2, "hits add no traffic");
+        assert_eq!(st.cache_hits(), 1);
+    }
+
+    #[test]
+    fn reads_share_then_write_invalidates() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        mem.access(0, CpuId(0), a, MemOp::Write(9), &mut st);
+        // Two readers pull shared copies.
+        mem.access(100, CpuId(1), a, MemOp::Read, &mut st);
+        mem.access(200, CpuId(2), a, MemOp::Read, &mut st);
+        // Re-read by the same CPU is free.
+        let before = st.traffic().total();
+        mem.access(300, CpuId(2), a, MemOp::Read, &mut st);
+        assert_eq!(st.traffic().total(), before, "shared re-read is a hit");
+        // A write invalidates the sharers (one local, one remote inval).
+        let before = st.traffic();
+        mem.access(400, CpuId(0), a, MemOp::Write(1), &mut st);
+        let after = st.traffic();
+        assert!(after.total() > before.total(), "invalidations counted");
+        assert!(after.global > before.global, "remote sharer invalidated");
+    }
+
+    #[test]
+    fn line_occupancy_serializes_contending_writers() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        // Two foreign writers issue at the same instant: the second must
+        // be pushed behind the first by the occupancy horizon.
+        let w1 = mem.access(1000, CpuId(1), a, MemOp::Write(2), &mut st);
+        let w2 = mem.access(1000, CpuId(2), a, MemOp::Write(3), &mut st);
+        assert!(w2.complete_at > w1.complete_at);
+    }
+
+    #[test]
+    fn wait_while_completes_immediately_when_value_differs() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        mem.poke(a, 7);
+        let out = mem.wait_while(0, CpuId(0), a, 3, &mut st);
+        assert!(matches!(out, Some((_, 7))));
+    }
+
+    #[test]
+    fn wait_while_wakes_on_conflicting_write() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        // CPU 3 (node 1) waits for the value to stop being 0.
+        assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st).is_none());
+        // A write of 0 does not wake it.
+        let out = mem.access(10, CpuId(0), a, MemOp::Write(0), &mut st);
+        assert!(out.woken.is_empty());
+        // A write of 5 wakes it, charging a (global) refill.
+        let g_before = st.traffic().global;
+        let out = mem.access(20, CpuId(0), a, MemOp::Write(5), &mut st);
+        assert_eq!(out.woken.len(), 1);
+        let (cpu, wake_at, val) = out.woken[0];
+        assert_eq!(cpu, CpuId(3));
+        assert_eq!(val, 5);
+        assert!(wake_at > out.complete_at, "refill happens after the write");
+        assert!(st.traffic().global > g_before, "cross-node refill is global");
+    }
+
+    #[test]
+    fn multiple_watchers_wake_staggered() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        assert!(mem.wait_while(0, CpuId(1), a, 0, &mut st).is_none());
+        assert!(mem.wait_while(0, CpuId(2), a, 0, &mut st).is_none());
+        assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st).is_none());
+        let out = mem.access(10, CpuId(0), a, MemOp::Write(1), &mut st);
+        assert_eq!(out.woken.len(), 3);
+        let mut times: Vec<u64> = out.woken.iter().map(|w| w.1).collect();
+        let sorted = {
+            let mut t = times.clone();
+            t.sort();
+            t
+        };
+        times.sort();
+        assert_eq!(times, sorted);
+        // Strictly staggered: the burst serializes on the line.
+        assert!(times[0] < times[1] && times[1] < times[2]);
+    }
+
+    #[test]
+    fn cancel_watch_removes_registration() {
+        let (mut mem, mut st) = mem2x2();
+        let a = mem.alloc(NodeId(0));
+        assert!(mem.wait_while(0, CpuId(1), a, 0, &mut st).is_none());
+        mem.cancel_watch(CpuId(1), a);
+        let out = mem.access(10, CpuId(0), a, MemOp::Write(1), &mut st);
+        assert!(out.woken.is_empty());
+    }
+
+    #[test]
+    fn flat_topology_never_uses_chip_class() {
+        // On a flat machine every same-node pair is "distance 1", but the
+        // chip latency class must not apply (it would silently change all
+        // of the paper's experiments).
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let mut lat = LatencyModel::wildfire();
+        lat.same_chip_transfer = 1; // absurdly cheap — detectable if used
+        let mut mem = MemorySystem::new(topo, lat);
+        let mut st = SimStats::new();
+        let a = mem.alloc(NodeId(0));
+        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        let w = mem.access(1000, CpuId(1), a, MemOp::Write(2), &mut st);
+        assert!(
+            w.complete_at - 1000 >= lat.same_node_transfer,
+            "flat same-node transfer must pay the full node latency"
+        );
+    }
+
+    #[test]
+    fn hierarchical_topology_chip_transfers_cheap_and_busless() {
+        let topo = Arc::new(
+            Topology::builder()
+                .hierarchical_node(&[2, 2])
+                .hierarchical_node(&[2, 2])
+                .build()
+                .unwrap(),
+        );
+        let lat = LatencyModel::cmp_numa();
+        let mut mem = MemorySystem::new(topo, lat);
+        let mut st = SimStats::new();
+        let a = mem.alloc(NodeId(0));
+        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        // cpu1 shares cpu0's chip; cpu2 is the other chip of node 0.
+        let chip = mem.access(10_000, CpuId(1), a, MemOp::Write(2), &mut st);
+        let cross = mem.access(20_000, CpuId(2), a, MemOp::Write(3), &mut st);
+        assert_eq!(chip.complete_at - 10_000, lat.same_chip_transfer);
+        assert!(cross.complete_at - 20_000 >= lat.same_node_transfer);
+        // Both are local traffic.
+        assert_eq!(st.traffic().global, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn alloc_foreign_node_rejected() {
+        let (mut mem, _) = mem2x2();
+        let _ = mem.alloc(NodeId(7));
+    }
+}

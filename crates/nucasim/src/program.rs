@@ -1,0 +1,131 @@
+//! Programs: the resumable state machines simulated CPUs execute.
+
+use std::fmt;
+
+use nuca_topology::{CpuId, NodeId};
+
+use crate::mem::Addr;
+use crate::stats::SimStats;
+
+/// One step a program asks the machine to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Load the word; the next `resume` receives the value.
+    Read(Addr),
+    /// Store `value`; the next `resume` receives the old value.
+    Write(Addr, u64),
+    /// Atomic compare-and-swap; the next `resume` receives the old value.
+    Cas {
+        /// Target word.
+        addr: Addr,
+        /// Value required for the swap to happen.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Atomic swap; the next `resume` receives the old value.
+    Swap {
+        /// Target word.
+        addr: Addr,
+        /// Value to store.
+        value: u64,
+    },
+    /// Atomic test-and-set (stores 1); the next `resume` receives the old
+    /// value.
+    Tas(Addr),
+    /// Atomic fetch-and-add; the next `resume` receives the old value.
+    FetchAdd {
+        /// Target word.
+        addr: Addr,
+        /// Addend.
+        delta: u64,
+    },
+    /// Compute (or back off) for the given number of cycles without
+    /// touching memory.
+    Delay(u64),
+    /// Sleep until the word's value differs from `equals`, then receive
+    /// the observed value. This models spinning on a locally cached copy:
+    /// free until a writer invalidates it, then one refill transaction.
+    WaitWhile {
+        /// Watched word.
+        addr: Addr,
+        /// Sleep for as long as the word holds exactly this value.
+        equals: u64,
+    },
+    /// The program is finished; the CPU goes idle.
+    Done,
+}
+
+/// Per-CPU context handed to [`Program::resume`].
+pub struct CpuCtx<'a> {
+    /// The executing CPU.
+    pub cpu: CpuId,
+    /// Its NUCA node.
+    pub node: NodeId,
+    /// Current simulated time in cycles.
+    pub now: u64,
+    pub(crate) stats: &'a mut SimStats,
+}
+
+impl CpuCtx<'_> {
+    /// Records a successful lock acquisition for the paper's node-handoff
+    /// statistics (Figs. 3 and 5, right panels). `lock` is a workload-
+    /// chosen dense index.
+    pub fn record_acquire(&mut self, lock: usize) {
+        self.stats.record_acquire(lock, self.node);
+    }
+}
+
+impl fmt::Debug for CpuCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpuCtx")
+            .field("cpu", &self.cpu)
+            .field("node", &self.node)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A resumable state machine executed by one simulated CPU.
+///
+/// The engine calls [`Program::resume`] with the result of the previously
+/// issued command (`None` initially and after `Delay`); the program returns
+/// the next command. Programs are sequential: one outstanding command per
+/// CPU, like the in-order processors of the paper's machines.
+pub trait Program {
+    /// Produces the next command. `last` carries the value returned by the
+    /// just-completed memory operation.
+    fn resume(&mut self, ctx: &mut CpuCtx<'_>, last: Option<u64>) -> Command;
+}
+
+impl fmt::Debug for dyn Program + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<program>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_are_comparable() {
+        let a = Command::Delay(5);
+        assert_eq!(a, Command::Delay(5));
+        assert_ne!(a, Command::Done);
+    }
+
+    #[test]
+    fn ctx_records_acquires() {
+        let mut stats = SimStats::new();
+        let mut ctx = CpuCtx {
+            cpu: CpuId(3),
+            node: NodeId(1),
+            now: 42,
+            stats: &mut stats,
+        };
+        ctx.record_acquire(0);
+        ctx.record_acquire(0);
+        assert_eq!(stats.lock_trace(0).unwrap().acquisitions, 2);
+    }
+}

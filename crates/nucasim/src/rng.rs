@@ -1,0 +1,128 @@
+//! A tiny deterministic PRNG for the simulator's internal randomness.
+//!
+//! The engine must be bit-for-bit reproducible for a given seed across
+//! library versions, so it uses SplitMix64 (Steele, Lea & Flood 2014)
+//! rather than an external crate whose stream might change between
+//! releases. Workload crates are free to use `rand`.
+
+/// SplitMix64: a fast, full-period 64-bit generator.
+///
+/// # Example
+///
+/// ```
+/// use nucasim::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift (Lemire); tiny bias is irrelevant here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Approximately exponentially distributed value with the given mean,
+    /// for Poisson-style arrival processes (preemption windows).
+    pub fn next_exp(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            return 0;
+        }
+        // Inverse CDF on a uniform in (0,1]; clamp the tail at 20× mean to
+        // keep event times bounded.
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let x = -(1.0 - u).ln() * mean as f64;
+        x.min(mean as f64 * 20.0) as u64
+    }
+
+    /// Derives an independent generator (for per-CPU streams).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut r = SplitMix64::new(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_rejected() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut r = SplitMix64::new(5);
+        let n = 20_000u64;
+        let sum: u64 = (0..n).map(|_| r.next_exp(1000)).sum();
+        let mean = sum / n;
+        assert!((800..1200).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn split_streams_independent() {
+        let mut root = SplitMix64::new(9);
+        let mut a = root.split();
+        let mut b = root.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

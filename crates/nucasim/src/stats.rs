@@ -1,0 +1,198 @@
+//! Simulation statistics: coherence traffic, lock traces, finish times.
+
+use nuca_topology::NodeId;
+
+/// Local/global coherence transaction counts (the paper's Tables 2 and 6
+/// report these normalized).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounts {
+    /// Transactions confined to one node (snooping bus traffic).
+    pub local: u64,
+    /// Transactions crossing the interconnect.
+    pub global: u64,
+}
+
+impl TrafficCounts {
+    /// Total transactions.
+    pub fn total(&self) -> u64 {
+        self.local + self.global
+    }
+}
+
+/// Per-lock acquisition trace: acquisition count and node handoffs.
+#[derive(Debug, Clone, Default)]
+pub struct LockTrace {
+    /// Successful acquisitions recorded via [`crate::CpuCtx::record_acquire`].
+    pub acquisitions: u64,
+    /// Acquisitions whose node differed from the previous holder's.
+    pub node_handoffs: u64,
+    last_node: Option<NodeId>,
+}
+
+impl LockTrace {
+    /// Node handoffs per handover opportunity, or `None` before the second
+    /// acquisition.
+    pub fn handoff_ratio(&self) -> Option<f64> {
+        if self.acquisitions < 2 {
+            None
+        } else {
+            Some(self.node_handoffs as f64 / (self.acquisitions - 1) as f64)
+        }
+    }
+
+    fn record(&mut self, node: NodeId) {
+        self.acquisitions += 1;
+        if let Some(prev) = self.last_node {
+            if prev != node {
+                self.node_handoffs += 1;
+            }
+        }
+        self.last_node = Some(node);
+    }
+}
+
+/// All statistics gathered during a simulation run.
+///
+/// Traffic is recorded by the memory system; lock traces are recorded by
+/// workloads through [`crate::CpuCtx::record_acquire`].
+#[derive(Debug, Default)]
+pub struct SimStats {
+    traffic: TrafficCounts,
+    locks: Vec<LockTrace>,
+    /// Total memory transactions that hit in the requester's cache.
+    cache_hits: u64,
+    /// Total preemption windows applied.
+    preemptions: u64,
+}
+
+impl SimStats {
+    pub(crate) fn new() -> SimStats {
+        SimStats::default()
+    }
+
+    /// Coherence traffic so far.
+    pub fn traffic(&self) -> TrafficCounts {
+        self.traffic
+    }
+
+    /// Cache hits (transactions that generated no coherence traffic).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Preemption windows the engine applied.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Trace for lock index `lock`, if any acquisition was recorded.
+    pub fn lock_trace(&self, lock: usize) -> Option<&LockTrace> {
+        self.locks.get(lock)
+    }
+
+    /// Traces for all lock indices recorded so far.
+    pub fn lock_traces(&self) -> &[LockTrace] {
+        &self.locks
+    }
+
+    /// Aggregate acquisitions across all lock indices.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.locks.iter().map(|t| t.acquisitions).sum()
+    }
+
+    /// Aggregate handoff ratio across all locks (acquisition-weighted).
+    pub fn aggregate_handoff_ratio(&self) -> Option<f64> {
+        let acq: u64 = self
+            .locks
+            .iter()
+            .filter(|t| t.acquisitions >= 2)
+            .map(|t| t.acquisitions - 1)
+            .sum();
+        if acq == 0 {
+            return None;
+        }
+        let hand: u64 = self.locks.iter().map(|t| t.node_handoffs).sum();
+        Some(hand as f64 / acq as f64)
+    }
+
+    pub(crate) fn count_local(&mut self) {
+        self.traffic.local += 1;
+    }
+
+    pub(crate) fn count_global(&mut self) {
+        self.traffic.global += 1;
+    }
+
+    pub(crate) fn count_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    pub(crate) fn count_preemption(&mut self) {
+        self.preemptions += 1;
+    }
+
+    pub(crate) fn record_acquire(&mut self, lock: usize, node: NodeId) {
+        if self.locks.len() <= lock {
+            self.locks.resize_with(lock + 1, LockTrace::default);
+        }
+        self.locks[lock].record(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals() {
+        let mut s = SimStats::new();
+        s.count_local();
+        s.count_local();
+        s.count_global();
+        assert_eq!(s.traffic(), TrafficCounts { local: 2, global: 1 });
+        assert_eq!(s.traffic().total(), 3);
+    }
+
+    #[test]
+    fn lock_trace_handoffs() {
+        let mut s = SimStats::new();
+        for n in [0, 0, 1, 0] {
+            s.record_acquire(0, NodeId(n));
+        }
+        let t = s.lock_trace(0).unwrap();
+        assert_eq!(t.acquisitions, 4);
+        assert_eq!(t.node_handoffs, 2);
+        assert_eq!(t.handoff_ratio(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn ratio_none_below_two() {
+        let mut s = SimStats::new();
+        s.record_acquire(0, NodeId(0));
+        assert_eq!(s.lock_trace(0).unwrap().handoff_ratio(), None);
+    }
+
+    #[test]
+    fn sparse_lock_indices() {
+        let mut s = SimStats::new();
+        s.record_acquire(5, NodeId(1));
+        assert_eq!(s.lock_traces().len(), 6);
+        assert_eq!(s.lock_trace(5).unwrap().acquisitions, 1);
+        assert_eq!(s.lock_trace(0).unwrap().acquisitions, 0);
+        assert_eq!(s.total_acquisitions(), 1);
+    }
+
+    #[test]
+    fn aggregate_ratio_weights_by_acquisitions() {
+        let mut s = SimStats::new();
+        // Lock 0: 3 acquisitions, 2 handoffs.
+        for n in [0, 1, 0] {
+            s.record_acquire(0, NodeId(n));
+        }
+        // Lock 1: 2 acquisitions, 0 handoffs.
+        for n in [1, 1] {
+            s.record_acquire(1, NodeId(n));
+        }
+        assert_eq!(s.aggregate_handoff_ratio(), Some(2.0 / 3.0));
+    }
+}

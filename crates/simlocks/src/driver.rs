@@ -1,0 +1,182 @@
+//! [`SessionDriver`]: plumbing between a workload program and a
+//! [`LockSession`] state machine.
+
+use nucasim::Command;
+
+use crate::{LockSession, Step};
+
+/// What the driver wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveResult {
+    /// Execute this command and call [`SessionDriver::on_result`] with its
+    /// result.
+    Busy(Command),
+    /// The acquisition completed; the caller holds the lock.
+    AcquireDone,
+    /// The release completed.
+    ReleaseDone,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Acquiring,
+    Holding,
+    Releasing,
+}
+
+/// Drives a [`LockSession`] from inside a [`nucasim::Program`].
+///
+/// A workload keeps one driver per lock it uses; when the driver reports
+/// [`DriveResult::Busy`], the workload issues the command and routes the
+/// completion back via [`SessionDriver::on_result`].
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::LockKind;
+/// use nucasim::{Machine, MachineConfig};
+/// use nucasim_locks::{build_lock, DriveResult, GtSlots, SessionDriver, SimLockParams};
+/// use nuca_topology::{CpuId, NodeId};
+/// use std::sync::Arc;
+///
+/// let mut m = Machine::new(MachineConfig::wildfire(2, 2));
+/// let topo = Arc::clone(m.topology());
+/// let gt = GtSlots::alloc(m.mem_mut(), &topo);
+/// let lock = build_lock(LockKind::Hbo, m.mem_mut(), &topo, &gt, NodeId(0),
+///                       &SimLockParams::default());
+/// let mut driver = SessionDriver::new(lock.session(CpuId(0), NodeId(0)));
+/// // Inside a Program, `start_acquire` yields the first command to issue:
+/// assert!(matches!(driver.start_acquire(), DriveResult::Busy(_)));
+/// ```
+#[derive(Debug)]
+pub struct SessionDriver {
+    session: Box<dyn LockSession>,
+    phase: Phase,
+}
+
+impl SessionDriver {
+    /// Wraps a session.
+    pub fn new(session: Box<dyn LockSession>) -> SessionDriver {
+        SessionDriver {
+            session,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// Begins an acquisition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver is mid-phase or already holding.
+    pub fn start_acquire(&mut self) -> DriveResult {
+        assert_eq!(self.phase, Phase::Idle, "acquire while not idle");
+        self.phase = Phase::Acquiring;
+        self.step(self.phase, None, true)
+    }
+
+    /// Begins a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not currently held.
+    pub fn start_release(&mut self) -> DriveResult {
+        assert_eq!(self.phase, Phase::Holding, "release while not holding");
+        self.phase = Phase::Releasing;
+        self.step(self.phase, None, true)
+    }
+
+    /// Routes a command completion into the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no command is outstanding.
+    pub fn on_result(&mut self, result: Option<u64>) -> DriveResult {
+        let phase = self.phase;
+        self.step(phase, result, false)
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_holding(&self) -> bool {
+        self.phase == Phase::Holding
+    }
+
+    fn step(&mut self, phase: Phase, result: Option<u64>, starting: bool) -> DriveResult {
+        let step = match (phase, starting) {
+            (Phase::Acquiring, true) => self.session.start_acquire(),
+            (Phase::Acquiring, false) => self.session.resume_acquire(result),
+            (Phase::Releasing, true) => self.session.start_release(),
+            (Phase::Releasing, false) => self.session.resume_release(result),
+            (p, _) => panic!("no command outstanding in phase {p:?}"),
+        };
+        match step {
+            Step::Op(cmd) => DriveResult::Busy(cmd),
+            Step::Acquired => {
+                assert_eq!(phase, Phase::Acquiring, "Acquired outside acquire phase");
+                self.phase = Phase::Holding;
+                DriveResult::AcquireDone
+            }
+            Step::Released => {
+                assert_eq!(phase, Phase::Releasing, "Released outside release phase");
+                self.phase = Phase::Idle;
+                DriveResult::ReleaseDone
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_lock, GtSlots, SimLockParams};
+    use hbo_locks::LockKind;
+    use nuca_topology::{CpuId, NodeId};
+    use nucasim::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    fn driver(kind: LockKind) -> SessionDriver {
+        let mut m = Machine::new(MachineConfig::wildfire(2, 2));
+        let topo = Arc::clone(m.topology());
+        let gt = GtSlots::alloc(m.mem_mut(), &topo);
+        let lock = build_lock(
+            kind,
+            m.mem_mut(),
+            &topo,
+            &gt,
+            NodeId(0),
+            &SimLockParams::default(),
+        );
+        SessionDriver::new(lock.session(CpuId(0), NodeId(0)))
+    }
+
+    #[test]
+    fn start_acquire_yields_command() {
+        for kind in LockKind::ALL {
+            let mut d = driver(kind);
+            assert!(matches!(d.start_acquire(), DriveResult::Busy(_)), "{kind}");
+            assert!(!d.is_holding());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "release while not holding")]
+    fn release_before_acquire_panics() {
+        let mut d = driver(LockKind::Tatas);
+        let _ = d.start_release();
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire while not idle")]
+    fn double_start_acquire_panics() {
+        let mut d = driver(LockKind::Hbo);
+        let _ = d.start_acquire();
+        let _ = d.start_acquire();
+    }
+
+    #[test]
+    #[should_panic(expected = "no command outstanding")]
+    fn result_without_command_panics() {
+        let mut d = driver(LockKind::Mcs);
+        let _ = d.on_result(Some(0));
+    }
+}

@@ -1,0 +1,337 @@
+//! Lock-algorithm state machines for the `nucasim` NUCA simulator.
+//!
+//! Each of the paper's eight algorithms (TATAS, TATAS_EXP, MCS, CLH, RH,
+//! HBO, HBO_GT, HBO_GT_SD) is expressed here as a resumable state machine
+//! over simulated memory, issuing exactly the memory-operation sequences of
+//! the published pseudocode (Figures 1 and 2 of the paper for the HBO
+//! family). Workload programs drive a [`LockSession`] per CPU.
+//!
+//! The split from `hbo-locks` is deliberate: that crate is the *real*
+//! library on real atomics; this crate is the *measurement* form the
+//! simulator executes to regenerate the paper's tables and figures. The
+//! two share tuning types ([`hbo_locks::BackoffConfig`]) and the
+//! [`hbo_locks::LockKind`] registry. In the simulator, backoff delays are
+//! in cycles (4 ns each).
+//!
+//! # Example
+//!
+//! ```
+//! use hbo_locks::LockKind;
+//! use nucasim::{Machine, MachineConfig};
+//! use nucasim_locks::{build_lock, GtSlots, SimLockParams};
+//! use nuca_topology::NodeId;
+//! use std::sync::Arc;
+//!
+//! let mut machine = Machine::new(MachineConfig::wildfire(2, 2));
+//! let topo = Arc::clone(machine.topology());
+//! let gt = GtSlots::alloc(machine.mem_mut(), &topo);
+//! let lock = build_lock(
+//!     LockKind::HboGtSd,
+//!     machine.mem_mut(),
+//!     &topo,
+//!     &gt,
+//!     NodeId(0),
+//!     &SimLockParams::default(),
+//! );
+//! // One session per simulated CPU:
+//! let session = lock.session(nuca_topology::CpuId(3), NodeId(1));
+//! drop(session);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clh;
+mod driver;
+mod hbo;
+mod hbo_gt;
+mod hbo_gt_sd;
+mod hier;
+mod mcs;
+mod rh;
+mod tatas;
+mod ticket;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+use std::fmt;
+use std::sync::Arc;
+
+use hbo_locks::{BackoffConfig, LockKind};
+use nuca_topology::{CpuId, NodeId, Topology};
+use nucasim::{Addr, Command, MemorySystem};
+
+pub use clh::SimClh;
+pub use driver::{DriveResult, SessionDriver};
+pub use hbo::SimHbo;
+pub use hbo_gt::SimHboGt;
+pub use hbo_gt_sd::SimHboGtSd;
+pub use hier::SimHierHbo;
+pub use mcs::SimMcs;
+pub use rh::SimRh;
+pub use tatas::{SimTatas, SimTatasExp};
+pub use ticket::SimTicket;
+
+/// One step of a lock session: either a memory/delay command to execute,
+/// or completion of the current phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execute this command and feed the result back via
+    /// [`LockSession::resume_acquire`] / [`LockSession::resume_release`].
+    Op(Command),
+    /// The lock is now held.
+    Acquired,
+    /// The lock is now released.
+    Released,
+}
+
+/// A per-CPU lock client: a resumable acquire/release state machine.
+///
+/// # Contract
+///
+/// * Create **one session per simulated CPU per lock** and reuse it for
+///   every acquisition (CLH transfers queue-node ownership across
+///   acquisitions, so sessions are stateful).
+/// * Drive acquisition with [`start_acquire`](LockSession::start_acquire)
+///   then [`resume_acquire`](LockSession::resume_acquire) until
+///   [`Step::Acquired`]; drive release analogously. Phases must alternate.
+pub trait LockSession: fmt::Debug {
+    /// Begins an acquisition.
+    fn start_acquire(&mut self) -> Step;
+    /// Continues an acquisition with the result of the previous command
+    /// (`None` after a `Delay`).
+    fn resume_acquire(&mut self, result: Option<u64>) -> Step;
+    /// Begins a release.
+    fn start_release(&mut self) -> Step;
+    /// Continues a release.
+    fn resume_release(&mut self, result: Option<u64>) -> Step;
+}
+
+/// A lock instance living in simulated memory; a factory for sessions.
+pub trait SimLock: fmt::Debug {
+    /// Creates the session for `cpu` (in `node`). Call once per CPU.
+    fn session(&self, cpu: CpuId, node: NodeId) -> Box<dyn LockSession>;
+    /// Which algorithm this is.
+    fn kind(&self) -> LockKind;
+    /// The single word contended for, when the algorithm has one —
+    /// enables QOLB-style *collocation* experiments (allocating protected
+    /// data in the same line as the lock, paper §3). Queue locks return
+    /// `None`.
+    fn lock_word(&self) -> Option<Addr> {
+        None
+    }
+}
+
+/// The per-node `is_spinning` words shared by all HBO_GT/HBO_GT_SD locks
+/// of one machine (the paper's "one extra variable per NUCA node").
+#[derive(Debug, Clone)]
+pub struct GtSlots {
+    slots: Arc<[Addr]>,
+}
+
+impl GtSlots {
+    /// Allocates one slot per node, each homed in its own node.
+    pub fn alloc(mem: &mut MemorySystem, topo: &Topology) -> GtSlots {
+        let slots: Vec<Addr> = topo.nodes().map(|n| mem.alloc(n)).collect();
+        GtSlots {
+            slots: slots.into(),
+        }
+    }
+
+    /// The `is_spinning` word of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology this was allocated for.
+    pub fn slot(&self, node: NodeId) -> Addr {
+        self.slots[node.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Tunables shared by the simulator lock implementations.
+///
+/// Backoff delays are simulated cycles. The defaults are tuned for the
+/// WildFire latency preset: the local backoff is a small multiple of a
+/// same-node transfer (70 cycles), the remote backoff a multiple of a
+/// remote transfer (420 cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLockParams {
+    /// Backoff for spinning on a lock held in the caller's node; also the
+    /// TATAS_EXP constants.
+    pub local: BackoffConfig,
+    /// Backoff for spinning on a remotely held lock.
+    pub remote: BackoffConfig,
+    /// HBO_GT_SD anger threshold (failed remote attempts before starvation
+    /// countermeasures kick in).
+    pub get_angry_limit: u32,
+    /// RH consecutive local handovers before the releaser publishes the
+    /// lock globally.
+    pub rh_max_handovers: u64,
+}
+
+impl Default for SimLockParams {
+    fn default() -> Self {
+        SimLockParams {
+            local: BackoffConfig::new(100, 2, 1_600),
+            remote: BackoffConfig::new(1_600, 2, 51_200),
+            get_angry_limit: 16,
+            rh_max_handovers: 64,
+        }
+    }
+}
+
+impl SimLockParams {
+    /// Returns the params with a different remote backoff cap (the
+    /// `REMOTE_BACKOFF_CAP` sensitivity study, Fig. 9).
+    #[must_use]
+    pub fn with_remote_cap(mut self, cap: u32) -> SimLockParams {
+        self.remote = self.remote.with_cap(cap);
+        self
+    }
+
+    /// Returns the params with a different anger threshold (Fig. 10).
+    #[must_use]
+    pub fn with_get_angry_limit(mut self, limit: u32) -> SimLockParams {
+        self.get_angry_limit = limit;
+        self
+    }
+}
+
+/// Allocates a lock of `kind` in simulated memory, homed in `home`.
+///
+/// `gt` supplies the shared per-node `is_spinning` words (used only by
+/// HBO_GT and HBO_GT_SD).
+pub fn build_lock(
+    kind: LockKind,
+    mem: &mut MemorySystem,
+    topo: &Topology,
+    gt: &GtSlots,
+    home: NodeId,
+    params: &SimLockParams,
+) -> Box<dyn SimLock> {
+    match kind {
+        LockKind::Tatas => Box::new(SimTatas::alloc(mem, home)),
+        LockKind::TatasExp => Box::new(SimTatasExp::alloc(mem, home, params.local)),
+        LockKind::Mcs => Box::new(SimMcs::alloc(mem, topo, home)),
+        LockKind::Clh => Box::new(SimClh::alloc(mem, topo, home)),
+        LockKind::Rh => Box::new(SimRh::alloc(
+            mem,
+            topo,
+            params.local,
+            params.remote,
+            params.rh_max_handovers,
+        )),
+        LockKind::Hbo => Box::new(SimHbo::alloc(mem, home, params.local, params.remote)),
+        LockKind::HboGt => Box::new(SimHboGt::alloc(
+            mem,
+            home,
+            gt.clone(),
+            params.local,
+            params.remote,
+        )),
+        LockKind::HboGtSd => Box::new(SimHboGtSd::alloc(
+            mem,
+            home,
+            gt.clone(),
+            params.local,
+            params.remote,
+            params.get_angry_limit,
+        )),
+    }
+}
+
+/// Simulated-cycle exponential backoff helper shared by the state
+/// machines: yields the next delay and grows the period.
+#[derive(Debug, Clone)]
+pub(crate) struct SimBackoff {
+    current: u32,
+    cfg: BackoffConfig,
+}
+
+impl SimBackoff {
+    pub(crate) fn new(cfg: BackoffConfig) -> SimBackoff {
+        SimBackoff {
+            current: cfg.base,
+            cfg,
+        }
+    }
+
+    /// The paper's `backoff(&b, cap)`: returns the delay to wait, then
+    /// grows the period.
+    pub(crate) fn next_delay(&mut self) -> u64 {
+        let d = self.current;
+        self.current = self
+            .current
+            .saturating_mul(self.cfg.factor)
+            .min(self.cfg.cap);
+        u64::from(d)
+    }
+
+    pub(crate) fn reset(&mut self, cfg: BackoffConfig) {
+        self.current = cfg.base;
+        self.cfg = cfg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucasim::MachineConfig;
+
+    #[test]
+    fn gt_slots_one_per_node() {
+        let mut m = nucasim::Machine::new(MachineConfig::wildfire(3, 2));
+        let topo = Arc::clone(m.topology());
+        let gt = GtSlots::alloc(m.mem_mut(), &topo);
+        assert_eq!(gt.nodes(), 3);
+        let a = gt.slot(NodeId(0));
+        let b = gt.slot(NodeId(1));
+        assert_ne!(a, b);
+        assert_eq!(m.mem().home(b), NodeId(1), "slot homed in its node");
+    }
+
+    #[test]
+    fn build_all_kinds() {
+        let mut m = nucasim::Machine::new(MachineConfig::wildfire(2, 2));
+        let topo = Arc::clone(m.topology());
+        let gt = GtSlots::alloc(m.mem_mut(), &topo);
+        for kind in LockKind::ALL {
+            let lock = build_lock(
+                kind,
+                m.mem_mut(),
+                &topo,
+                &gt,
+                NodeId(0),
+                &SimLockParams::default(),
+            );
+            assert_eq!(lock.kind(), kind);
+            let _session = lock.session(CpuId(0), NodeId(0));
+        }
+    }
+
+    #[test]
+    fn sim_backoff_grows_and_resets() {
+        let mut b = SimBackoff::new(BackoffConfig::new(10, 2, 40));
+        assert_eq!(b.next_delay(), 10);
+        assert_eq!(b.next_delay(), 20);
+        assert_eq!(b.next_delay(), 40);
+        assert_eq!(b.next_delay(), 40);
+        b.reset(BackoffConfig::new(5, 2, 40));
+        assert_eq!(b.next_delay(), 5);
+    }
+
+    #[test]
+    fn params_builders() {
+        let p = SimLockParams::default()
+            .with_remote_cap(9_999)
+            .with_get_angry_limit(3);
+        assert_eq!(p.remote.cap, 9_999);
+        assert_eq!(p.get_angry_limit, 3);
+    }
+}

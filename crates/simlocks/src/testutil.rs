@@ -1,0 +1,291 @@
+//! Shared test harnesses: mutual-exclusion stress and Table-1-style
+//! uncontested latency scenarios, both inside the simulator.
+
+use std::sync::Arc;
+
+use hbo_locks::LockKind;
+use nuca_topology::{CpuId, NodeId};
+use nucasim::{Addr, Command, CpuCtx, Machine, MachineConfig, Program, SimReport};
+
+use crate::{build_lock, DriveResult, GtSlots, SessionDriver, SimLockParams};
+
+/// Workload: loop `iters` times { acquire; read counter; delay; write
+/// counter+1; release; think }. A mutual-exclusion violation loses an
+/// update and the final counter comes up short.
+struct ExclusionProgram {
+    driver: SessionDriver,
+    counter: Addr,
+    iters: u32,
+    state: ExState,
+    saved: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExState {
+    Start,
+    Acquiring,
+    CsRead,
+    CsDelay,
+    CsWrite,
+    Releasing,
+    Think,
+}
+
+impl ExclusionProgram {
+    fn drive(&mut self, r: DriveResult, ctx: &mut CpuCtx<'_>) -> Command {
+        match r {
+            DriveResult::Busy(cmd) => cmd,
+            DriveResult::AcquireDone => {
+                ctx.record_acquire(0);
+                self.state = ExState::CsRead;
+                Command::Read(self.counter)
+            }
+            DriveResult::ReleaseDone => {
+                self.state = ExState::Think;
+                // Per-CPU think time breaks deterministic lockstep between
+                // identical contenders.
+                Command::Delay(40 + 13 * (ctx.cpu.index() as u64 % 7))
+            }
+        }
+    }
+}
+
+impl Program for ExclusionProgram {
+    fn resume(&mut self, ctx: &mut CpuCtx<'_>, last: Option<u64>) -> Command {
+        loop {
+            match self.state {
+                ExState::Start => {
+                    if self.iters == 0 {
+                        return Command::Done;
+                    }
+                    self.iters -= 1;
+                    self.state = ExState::Acquiring;
+                    let r = self.driver.start_acquire();
+                    return self.drive(r, ctx);
+                }
+                ExState::Acquiring => {
+                    let r = self.driver.on_result(last);
+                    return self.drive(r, ctx);
+                }
+                ExState::CsRead => {
+                    self.saved = last.expect("read returns value");
+                    self.state = ExState::CsDelay;
+                    return Command::Delay(20);
+                }
+                ExState::CsDelay => {
+                    self.state = ExState::CsWrite;
+                    return Command::Write(self.counter, self.saved + 1);
+                }
+                ExState::CsWrite => {
+                    self.state = ExState::Releasing;
+                    let r = self.driver.start_release();
+                    return self.drive(r, ctx);
+                }
+                ExState::Releasing => {
+                    let r = self.driver.on_result(last);
+                    return self.drive(r, ctx);
+                }
+                ExState::Think => {
+                    self.state = ExState::Start;
+                    // Loop around without consuming an event.
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the exclusion stress for `kind` and asserts no update was lost.
+/// Returns the run's report for traffic comparisons.
+pub(crate) fn exclusion_test(
+    kind: LockKind,
+    nodes: usize,
+    cpus_per_node: usize,
+    iters: u32,
+) -> SimReport {
+    let mut m = Machine::new(MachineConfig::wildfire(nodes, cpus_per_node));
+    let topo = Arc::clone(m.topology());
+    let gt = GtSlots::alloc(m.mem_mut(), &topo);
+    let lock = build_lock(
+        kind,
+        m.mem_mut(),
+        &topo,
+        &gt,
+        NodeId(0),
+        &SimLockParams::default(),
+    );
+    let counter = m.mem_mut().alloc(NodeId(0));
+    for cpu in topo.cpus() {
+        let node = topo.node_of(cpu);
+        m.add_program(
+            cpu,
+            Box::new(ExclusionProgram {
+                driver: SessionDriver::new(lock.session(cpu, node)),
+                counter,
+                iters,
+                state: ExState::Start,
+                saved: 0,
+            }),
+        );
+    }
+    let report = m.run(20_000_000_000);
+    assert!(report.finished_all, "{kind}: run did not finish");
+    let expected = (nodes * cpus_per_node) as u64 * u64::from(iters);
+    assert_eq!(
+        report.final_value(counter),
+        expected,
+        "{kind}: lost updates — mutual exclusion violated"
+    );
+    assert_eq!(report.lock_traces[0].acquisitions, expected);
+    report
+}
+
+/// Costs of one acquire+release in the three Table-1 scenarios.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UncontestedCost {
+    pub same_processor: u64,
+    pub same_node: u64,
+    pub remote_node: u64,
+}
+
+/// One CPU performs `pairs` acquire+release pairs when `baton` reaches
+/// `turn`, writes the duration of the *last* pair to `out`, then
+/// increments the baton.
+struct TurnProgram {
+    driver: SessionDriver,
+    baton: Addr,
+    out: Addr,
+    turn: u64,
+    pairs: u32,
+    state: TurnState,
+    started_at: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TurnState {
+    WaitTurn,
+    Begin,
+    Acquiring,
+    Releasing,
+    WriteOut,
+    BumpBaton,
+    Finished,
+}
+
+impl TurnProgram {
+    fn drive(&mut self, r: DriveResult, now: u64) -> Command {
+        match r {
+            DriveResult::Busy(cmd) => cmd,
+            DriveResult::AcquireDone => {
+                self.state = TurnState::Releasing;
+                match self.driver.start_release() {
+                    DriveResult::Busy(cmd) => cmd,
+                    _ => unreachable!("release begins with a command"),
+                }
+            }
+            DriveResult::ReleaseDone => {
+                self.pairs -= 1;
+                if self.pairs == 0 {
+                    self.state = TurnState::WriteOut;
+                    Command::Write(self.out, now - self.started_at)
+                } else {
+                    self.state = TurnState::Begin;
+                    Command::Delay(1)
+                }
+            }
+        }
+    }
+}
+
+impl Program for TurnProgram {
+    fn resume(&mut self, ctx: &mut CpuCtx<'_>, last: Option<u64>) -> Command {
+        match self.state {
+            TurnState::WaitTurn => {
+                self.state = TurnState::Begin;
+                Command::WaitWhile {
+                    addr: self.baton,
+                    equals: self.turn.wrapping_sub(1),
+                }
+            }
+            TurnState::Begin => {
+                // Only proceed when it is actually our turn (the baton may
+                // have woken us at an earlier value change).
+                if self.pairs > 0 && last.is_some() && last != Some(self.turn) {
+                    return Command::WaitWhile {
+                        addr: self.baton,
+                        equals: last.unwrap_or(0),
+                    };
+                }
+                self.started_at = ctx.now;
+                self.state = TurnState::Acquiring;
+                let r = self.driver.start_acquire();
+                self.drive(r, ctx.now)
+            }
+            TurnState::Acquiring | TurnState::Releasing => {
+                let r = self.driver.on_result(last);
+                self.drive(r, ctx.now)
+            }
+            TurnState::WriteOut => {
+                self.state = TurnState::BumpBaton;
+                Command::Write(self.baton, self.turn + 1)
+            }
+            TurnState::BumpBaton => {
+                self.state = TurnState::Finished;
+                Command::Done
+            }
+            TurnState::Finished => Command::Done,
+        }
+    }
+}
+
+/// Measures the Table-1 scenarios for `kind` on a 2×2 WildFire.
+///
+/// CPU 0 warms the lock (2 pairs: the second is the same-processor cost),
+/// then CPU 1 (same node) does one pair, then CPU 2 (remote node).
+pub(crate) fn uncontested_cost(kind: LockKind) -> UncontestedCost {
+    let mut m = Machine::new(MachineConfig::wildfire(2, 2));
+    let topo = Arc::clone(m.topology());
+    let gt = GtSlots::alloc(m.mem_mut(), &topo);
+    let lock = build_lock(
+        kind,
+        m.mem_mut(),
+        &topo,
+        &gt,
+        NodeId(0),
+        &SimLockParams::default(),
+    );
+    let baton = m.mem_mut().alloc(NodeId(0));
+    m.mem_mut().poke(baton, 0);
+    let outs: Vec<Addr> = (0..3).map(|_| m.mem_mut().alloc(NodeId(0))).collect();
+
+    // Turn 0: cpu0 (two pairs — the second is a pure cache-hit reacquire).
+    // Turn 1: cpu1 (same node). Turn 2: cpu2 (remote node).
+    let plan = [(CpuId(0), 0u64, 2u32), (CpuId(1), 1, 1), (CpuId(2), 2, 1)];
+    for (cpu, turn, pairs) in plan {
+        let node = topo.node_of(cpu);
+        let state = if turn == 0 {
+            TurnState::Begin
+        } else {
+            TurnState::WaitTurn
+        };
+        m.add_program(
+            cpu,
+            Box::new(TurnProgram {
+                driver: SessionDriver::new(lock.session(cpu, node)),
+                baton,
+                out: outs[turn as usize],
+                turn,
+                pairs,
+                state,
+                started_at: 0,
+            }),
+        );
+    }
+    let report = m.run(1_000_000_000);
+    assert!(report.finished_all, "{kind}: uncontested run stuck");
+    UncontestedCost {
+        same_processor: report.final_value(outs[0]),
+        same_node: report.final_value(outs[1]),
+        remote_node: report.final_value(outs[2]),
+    }
+}

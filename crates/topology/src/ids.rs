@@ -1,0 +1,113 @@
+//! Typed identifiers for processors and NUCA nodes.
+
+use std::fmt;
+
+/// Identifier of a NUCA node (a group of processors with fast mutual
+/// cache-to-cache transfers, e.g. one Sun WildFire cabinet or one CMP chip).
+///
+/// `NodeId`s are dense indices `0..Topology::num_nodes()`.
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::NodeId;
+/// let n = NodeId(1);
+/// assert_eq!(n.index(), 1);
+/// assert_eq!(format!("{n}"), "node1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a single processor (hardware context).
+///
+/// `CpuId`s are dense indices `0..Topology::num_cpus()`; the topology maps
+/// each CPU to the node it belongs to.
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::CpuId;
+/// let c = CpuId(27);
+/// assert_eq!(c.index(), 27);
+/// assert_eq!(format!("{c}"), "cpu27");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuId(pub usize);
+
+impl CpuId {
+    /// Returns the dense index of this CPU.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl From<usize> for CpuId {
+    fn from(v: usize) -> Self {
+        CpuId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 3usize.into();
+        assert_eq!(n.index(), 3);
+        assert_eq!(n, NodeId(3));
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn cpu_id_roundtrip() {
+        let c: CpuId = 7usize.into();
+        assert_eq!(c.index(), 7);
+        assert_eq!(c, CpuId(7));
+        assert!(CpuId(0) < CpuId(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(0).to_string(), "node0");
+        assert_eq!(CpuId(12).to_string(), "cpu12");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId(0));
+        assert_eq!(CpuId::default(), CpuId(0));
+    }
+
+    #[test]
+    fn hashable() {
+        use std::collections::HashSet;
+        let s: HashSet<NodeId> = [NodeId(0), NodeId(1), NodeId(0)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

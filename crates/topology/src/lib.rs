@@ -1,0 +1,47 @@
+//! Machine topology description for nonuniform communication architectures.
+//!
+//! A *nonuniform communication architecture* (NUCA) is a shared-memory
+//! machine in which the unloaded latency for a processor accessing data
+//! recently modified by another processor differs by at least a factor of
+//! two depending on where that processor is located (Radović & Hagersten,
+//! HPCA 2003). Node-based CC-NUMA machines (Stanford DASH, Sequent NUMA-Q,
+//! Sun WildFire, Compaq DS-320) and large servers built from chip
+//! multiprocessors are NUCAs.
+//!
+//! This crate provides the vocabulary shared by the real-atomics lock
+//! library (`hbo-locks`) and the machine simulator (`nucasim`):
+//!
+//! * [`NodeId`] / [`CpuId`] — typed identifiers for NUCA nodes and
+//!   processors.
+//! * [`Topology`] — the shape of a machine: how many nodes, which CPUs
+//!   belong to which node, and (optionally) deeper hierarchy levels such as
+//!   CMP chips inside NUMA nodes.
+//! * [`ThreadRegistry`] / [`thread_node`] — an explicit, deterministic
+//!   mapping from running threads to NUCA nodes, used by NUCA-aware locks to
+//!   learn the `node_id` of the calling thread.
+//!
+//! # Example
+//!
+//! ```
+//! use nuca_topology::{Topology, NodeId, CpuId};
+//!
+//! // A 2-node Sun WildFire-like machine with 14 CPUs per node.
+//! let topo = Topology::symmetric(2, 14);
+//! assert_eq!(topo.num_cpus(), 28);
+//! assert_eq!(topo.node_of(CpuId(17)), NodeId(1));
+//! assert!(topo.same_node(CpuId(0), CpuId(13)));
+//! assert!(!topo.same_node(CpuId(0), CpuId(14)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ids;
+mod registry;
+mod shape;
+
+pub use ids::{CpuId, NodeId};
+pub use registry::{
+    register_thread, registered_node, thread_node, RegistrationGuard, ThreadRegistry,
+};
+pub use shape::{Topology, TopologyBuilder, TopologyError};

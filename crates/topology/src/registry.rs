@@ -1,0 +1,213 @@
+//! Thread-to-node registration.
+//!
+//! NUCA-aware locks need the `node_id` of the calling thread ("assuming
+//! that the node_id information is easily accessible, e.g., it is stored in
+//! a thread-private register" — HPCA 2003, §4.1). On SPARC the paper keeps
+//! it in a register; in portable Rust we keep it in a thread-local that the
+//! embedding application sets once per thread, typically right after
+//! pinning the thread to a CPU.
+//!
+//! Registration is *explicit* rather than auto-detected: detection via
+//! `sched_getcpu` would silently go stale when the OS migrates a thread,
+//! whereas an explicit registry is deterministic, portable, and testable.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{CpuId, NodeId, Topology};
+
+thread_local! {
+    static CURRENT_NODE: Cell<Option<NodeId>> = const { Cell::new(None) };
+}
+
+/// Registers the calling thread as running on `node` until the returned
+/// [`RegistrationGuard`] is dropped (or [`register_thread`] is called
+/// again).
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::{register_thread, thread_node, NodeId};
+///
+/// let _guard = register_thread(NodeId(1));
+/// assert_eq!(thread_node(), NodeId(1));
+/// ```
+pub fn register_thread(node: NodeId) -> RegistrationGuard {
+    let previous = CURRENT_NODE.with(|c| c.replace(Some(node)));
+    RegistrationGuard { previous }
+}
+
+/// Returns the node the calling thread registered as running on, or
+/// [`NodeId`] `0` if the thread never registered.
+///
+/// Falling back to node 0 keeps NUCA-aware locks *correct* (they only use
+/// the node id as an affinity hint) at the cost of treating unregistered
+/// threads as neighbors.
+pub fn thread_node() -> NodeId {
+    CURRENT_NODE.with(|c| c.get()).unwrap_or(NodeId(0))
+}
+
+/// Returns the registered node of the calling thread, or `None` if the
+/// thread never called [`register_thread`].
+pub fn registered_node() -> Option<NodeId> {
+    CURRENT_NODE.with(|c| c.get())
+}
+
+/// Restores the previous registration when dropped.
+///
+/// Guards nest: registering inside an outer registration restores the outer
+/// node when the inner guard drops.
+#[derive(Debug)]
+pub struct RegistrationGuard {
+    previous: Option<NodeId>,
+}
+
+impl Drop for RegistrationGuard {
+    fn drop(&mut self) {
+        CURRENT_NODE.with(|c| c.set(self.previous));
+    }
+}
+
+/// Deterministic dispenser of CPU slots for a fixed [`Topology`], for test
+/// harnesses and benchmarks that spawn one thread per simulated CPU.
+///
+/// Each call to [`ThreadRegistry::next_cpu`] hands out the next CPU of a
+/// binding (round-robin across nodes by default) and the caller registers
+/// the node with [`register_thread`].
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::{ThreadRegistry, Topology};
+///
+/// let topo = Topology::symmetric(2, 2);
+/// let reg = ThreadRegistry::round_robin(&topo);
+/// let (cpu0, node0) = reg.next_cpu().expect("slots available");
+/// let (cpu1, node1) = reg.next_cpu().expect("slots available");
+/// assert_ne!(node0, node1, "round-robin alternates nodes");
+/// assert_ne!(cpu0, cpu1);
+/// ```
+#[derive(Debug)]
+pub struct ThreadRegistry {
+    binding: Vec<CpuId>,
+    nodes: Vec<NodeId>,
+    cursor: AtomicUsize,
+}
+
+impl ThreadRegistry {
+    /// Creates a registry handing out CPUs round-robin across nodes.
+    pub fn round_robin(topo: &Topology) -> ThreadRegistry {
+        ThreadRegistry::with_binding(topo, topo.round_robin_binding(topo.num_cpus()))
+    }
+
+    /// Creates a registry handing out CPUs filling node 0 first.
+    pub fn block(topo: &Topology) -> ThreadRegistry {
+        ThreadRegistry::with_binding(topo, topo.block_binding(topo.num_cpus()))
+    }
+
+    /// Creates a registry with an explicit binding order.
+    pub fn with_binding(topo: &Topology, binding: Vec<CpuId>) -> ThreadRegistry {
+        let nodes = binding.iter().map(|c| topo.node_of(*c)).collect();
+        ThreadRegistry {
+            binding,
+            nodes,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Hands out the next CPU slot, or `None` when all slots are taken.
+    ///
+    /// Thread-safe: concurrent callers receive distinct slots.
+    pub fn next_cpu(&self) -> Option<(CpuId, NodeId)> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if i < self.binding.len() {
+            Some((self.binding[i], self.nodes[i]))
+        } else {
+            None
+        }
+    }
+
+    /// Number of slots handed out so far (saturating at capacity).
+    pub fn claimed(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.binding.len())
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.binding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_thread_defaults_to_node0() {
+        std::thread::spawn(|| {
+            assert_eq!(thread_node(), NodeId(0));
+            assert_eq!(registered_node(), None);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn registration_visible_and_restored() {
+        std::thread::spawn(|| {
+            {
+                let _g = register_thread(NodeId(2));
+                assert_eq!(thread_node(), NodeId(2));
+                {
+                    let _inner = register_thread(NodeId(5));
+                    assert_eq!(thread_node(), NodeId(5));
+                }
+                assert_eq!(thread_node(), NodeId(2), "inner guard restores outer");
+            }
+            assert_eq!(registered_node(), None, "outer guard restores none");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn registry_hands_out_distinct_slots_concurrently() {
+        let topo = Topology::symmetric(2, 8);
+        let reg = ThreadRegistry::round_robin(&topo);
+        let got = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        while let Some((cpu, _)) = reg.next_cpu() {
+                            local.push(cpu);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all: Vec<CpuId> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort();
+            all
+        });
+        assert_eq!(got.len(), 16);
+        let mut dedup = got.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16, "no slot handed out twice");
+        assert_eq!(reg.claimed(), 16);
+        assert_eq!(reg.capacity(), 16);
+    }
+
+    #[test]
+    fn registry_exhaustion_returns_none() {
+        let topo = Topology::symmetric(1, 2);
+        let reg = ThreadRegistry::block(&topo);
+        assert!(reg.next_cpu().is_some());
+        assert!(reg.next_cpu().is_some());
+        assert!(reg.next_cpu().is_none());
+        assert!(reg.next_cpu().is_none());
+    }
+}

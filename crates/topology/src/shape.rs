@@ -1,0 +1,503 @@
+//! The shape of a NUCA machine: nodes, CPUs, and deeper hierarchy levels.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CpuId, NodeId};
+
+/// Error produced when constructing an invalid [`Topology`].
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::{Topology, TopologyError};
+/// let err = Topology::try_symmetric(0, 4).unwrap_err();
+/// assert!(matches!(err, TopologyError::NoNodes));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The topology had zero nodes.
+    NoNodes,
+    /// A node had zero CPUs.
+    EmptyNode(NodeId),
+    /// A hierarchy level had arity zero.
+    ZeroArity {
+        /// Index of the offending level, 0 = outermost.
+        level: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoNodes => write!(f, "topology must have at least one node"),
+            TopologyError::EmptyNode(n) => write!(f, "{n} has no CPUs"),
+            TopologyError::ZeroArity { level } => {
+                write!(f, "hierarchy level {level} has arity zero")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// Description of a NUCA machine: which CPUs exist and how they group into
+/// nodes (and, optionally, deeper levels such as CMP chips within NUMA
+/// nodes).
+///
+/// A `Topology` is immutable once built. The common case is a *symmetric*
+/// machine — `n` nodes with `k` CPUs each — built with
+/// [`Topology::symmetric`]. Asymmetric machines (the paper's 16 + 14
+/// WildFire prototype) are built with [`TopologyBuilder`].
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::{Topology, CpuId, NodeId};
+///
+/// // The paper's Sun WildFire: two E6000 cabinets, 14 CPUs used per node.
+/// let wildfire = Topology::symmetric(2, 14);
+/// assert_eq!(wildfire.num_nodes(), 2);
+/// assert_eq!(wildfire.cpus_of(NodeId(1)).count(), 14);
+///
+/// // The asymmetric 16 + 14 prototype.
+/// let proto = Topology::builder().node(16).node(14).build()?;
+/// assert_eq!(proto.num_cpus(), 30);
+/// assert_eq!(proto.node_of(CpuId(16)), NodeId(1));
+/// # Ok::<(), nuca_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `cpu_node[c]` is the node that CPU `c` belongs to.
+    cpu_node: Vec<NodeId>,
+    /// `node_cpus[n]` is the ordered list of CPU ids in node `n`.
+    node_cpus: Vec<Vec<CpuId>>,
+    /// Optional deeper hierarchy: for each CPU, its coordinate per level
+    /// (level 0 = NUCA node, level 1 = e.g. CMP chip within the node, ...).
+    /// Empty when the machine has a single level of nonuniformity.
+    levels: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates a symmetric topology with `nodes` nodes of `cpus_per_node`
+    /// CPUs each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `cpus_per_node == 0`; use
+    /// [`Topology::try_symmetric`] for a fallible version.
+    pub fn symmetric(nodes: usize, cpus_per_node: usize) -> Topology {
+        Topology::try_symmetric(nodes, cpus_per_node).expect("invalid symmetric topology")
+    }
+
+    /// Fallible version of [`Topology::symmetric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoNodes`] if `nodes == 0` and
+    /// [`TopologyError::EmptyNode`] if `cpus_per_node == 0`.
+    pub fn try_symmetric(nodes: usize, cpus_per_node: usize) -> Result<Topology, TopologyError> {
+        let mut b = Topology::builder();
+        if nodes == 0 {
+            return Err(TopologyError::NoNodes);
+        }
+        for _ in 0..nodes {
+            b = b.node(cpus_per_node);
+        }
+        b.build()
+    }
+
+    /// Creates a single-node topology (a UMA machine like the Sun E6000).
+    ///
+    /// All NUCA-aware locks degenerate gracefully on such a machine: every
+    /// contender observes the holder as a neighbor.
+    pub fn single_node(cpus: usize) -> Topology {
+        Topology::symmetric(1, cpus)
+    }
+
+    /// Starts building an asymmetric or hierarchical topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::new()
+    }
+
+    /// Number of NUCA nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_cpus.len()
+    }
+
+    /// Total number of CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.cpu_node.len()
+    }
+
+    /// The node that `cpu` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn node_of(&self, cpu: CpuId) -> NodeId {
+        self.cpu_node[cpu.index()]
+    }
+
+    /// Iterator over the CPUs of `node`, in increasing id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cpus_of(&self, node: NodeId) -> impl Iterator<Item = CpuId> + '_ {
+        self.node_cpus[node.index()].iter().copied()
+    }
+
+    /// Iterator over all CPU ids.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.num_cpus()).map(CpuId)
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// Whether two CPUs share a NUCA node.
+    pub fn same_node(&self, a: CpuId, b: CpuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Number of hierarchy levels below the node level (0 for a flat,
+    /// single-level NUCA).
+    pub fn extra_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The *communication distance* between two CPUs: 0 if they are the same
+    /// CPU, 1 if they share the innermost group at every level, up to
+    /// `extra_levels() + 1` if they are in different NUCA nodes.
+    ///
+    /// Hierarchical locks use this to pick per-level backoff constants: the
+    /// paper notes the HBO scheme "can be expanded in a hierarchical way,
+    /// using more than two sets of constants, for a hierarchical NUCA".
+    pub fn distance(&self, a: CpuId, b: CpuId) -> usize {
+        if a == b {
+            return 0;
+        }
+        if self.node_of(a) != self.node_of(b) {
+            return self.extra_levels() + 2;
+        }
+        // Same node: find the innermost level at which they diverge.
+        for (i, level) in self.levels.iter().enumerate() {
+            if level[a.index()] != level[b.index()] {
+                // Diverge at level i (0 = coarsest below node).
+                return self.extra_levels() + 1 - i;
+            }
+        }
+        1
+    }
+
+    /// Assigns CPUs to `threads` thread slots round-robin across nodes, the
+    /// binding the paper uses for its microbenchmarks ("round-robin
+    /// scheduling for thread binding to different cabinets").
+    ///
+    /// Thread 0 gets the first CPU of node 0, thread 1 the first CPU of node
+    /// 1, and so on, wrapping around nodes. Returns one `CpuId` per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` exceeds [`Topology::num_cpus`].
+    pub fn round_robin_binding(&self, threads: usize) -> Vec<CpuId> {
+        assert!(
+            threads <= self.num_cpus(),
+            "cannot bind {threads} threads to {} cpus",
+            self.num_cpus()
+        );
+        let mut cursors = vec![0usize; self.num_nodes()];
+        let mut out = Vec::with_capacity(threads);
+        let mut node = 0usize;
+        while out.len() < threads {
+            let cpus = &self.node_cpus[node];
+            if cursors[node] < cpus.len() {
+                out.push(cpus[cursors[node]]);
+                cursors[node] += 1;
+            }
+            node = (node + 1) % self.num_nodes();
+        }
+        out
+    }
+
+    /// Assigns CPUs to `threads` thread slots filling each node before
+    /// moving to the next (block binding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` exceeds [`Topology::num_cpus`].
+    pub fn block_binding(&self, threads: usize) -> Vec<CpuId> {
+        assert!(
+            threads <= self.num_cpus(),
+            "cannot bind {threads} threads to {} cpus",
+            self.num_cpus()
+        );
+        self.cpus().take(threads).collect()
+    }
+}
+
+/// Incremental builder for [`Topology`] values.
+///
+/// # Example
+///
+/// ```
+/// use nuca_topology::Topology;
+///
+/// // Two NUMA nodes, each holding two 4-thread CMP chips: a hierarchical
+/// // NUCA with an extra level below the node level.
+/// let t = Topology::builder()
+///     .hierarchical_node(&[2, 4])
+///     .hierarchical_node(&[2, 4])
+///     .build()?;
+/// assert_eq!(t.num_cpus(), 16);
+/// assert_eq!(t.extra_levels(), 1);
+/// # Ok::<(), nuca_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<NodeSpec>,
+}
+
+#[derive(Debug)]
+enum NodeSpec {
+    Flat(usize),
+    /// Arities per extra level, innermost last; total CPUs = product.
+    Hier(Vec<usize>),
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a flat node with `cpus` CPUs.
+    #[must_use]
+    pub fn node(mut self, cpus: usize) -> TopologyBuilder {
+        self.nodes.push(NodeSpec::Flat(cpus));
+        self
+    }
+
+    /// Adds a hierarchical node: `arities[0]` groups, each split into
+    /// `arities[1]` sub-groups, and so on; the innermost arity is the number
+    /// of CPUs per innermost group.
+    ///
+    /// All hierarchical nodes in one topology must use the same number of
+    /// levels.
+    #[must_use]
+    pub fn hierarchical_node(mut self, arities: &[usize]) -> TopologyBuilder {
+        self.nodes.push(NodeSpec::Hier(arities.to_vec()));
+        self
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if no nodes were added, a node is empty, or
+    /// a hierarchy arity is zero.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.nodes.is_empty() {
+            return Err(TopologyError::NoNodes);
+        }
+        let extra_levels = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                NodeSpec::Flat(_) => 0,
+                NodeSpec::Hier(a) => a.len().saturating_sub(1),
+            })
+            .max()
+            .unwrap_or(0);
+
+        let mut cpu_node = Vec::new();
+        let mut node_cpus = Vec::new();
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); extra_levels];
+
+        for (ni, spec) in self.nodes.iter().enumerate() {
+            let node = NodeId(ni);
+            let mut cpus_here = Vec::new();
+            match spec {
+                NodeSpec::Flat(n) => {
+                    if *n == 0 {
+                        return Err(TopologyError::EmptyNode(node));
+                    }
+                    for _ in 0..*n {
+                        let cpu = CpuId(cpu_node.len());
+                        cpu_node.push(node);
+                        for level in levels.iter_mut() {
+                            level.push(0);
+                        }
+                        cpus_here.push(cpu);
+                    }
+                }
+                NodeSpec::Hier(arities) => {
+                    if arities.is_empty() {
+                        return Err(TopologyError::EmptyNode(node));
+                    }
+                    for (li, a) in arities.iter().enumerate() {
+                        if *a == 0 {
+                            return Err(TopologyError::ZeroArity { level: li });
+                        }
+                    }
+                    let total: usize = arities.iter().product();
+                    // The coordinates of each CPU within this node per level.
+                    for idx in 0..total {
+                        let cpu = CpuId(cpu_node.len());
+                        cpu_node.push(node);
+                        // Decompose idx into mixed-radix coordinates,
+                        // outermost first; only the first `arities.len()-1`
+                        // coordinates are group levels.
+                        let mut rem = idx;
+                        let mut coords = Vec::with_capacity(arities.len());
+                        for a in arities.iter().rev() {
+                            coords.push(rem % a);
+                            rem /= a;
+                        }
+                        coords.reverse();
+                        for (li, level) in levels.iter_mut().enumerate() {
+                            let c = coords.get(li).copied().unwrap_or(0);
+                            level.push(c);
+                        }
+                        cpus_here.push(cpu);
+                    }
+                }
+            }
+            node_cpus.push(cpus_here);
+        }
+
+        Ok(Topology {
+            cpu_node,
+            node_cpus,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_layout() {
+        let t = Topology::symmetric(2, 14);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_cpus(), 28);
+        assert_eq!(t.node_of(CpuId(0)), NodeId(0));
+        assert_eq!(t.node_of(CpuId(13)), NodeId(0));
+        assert_eq!(t.node_of(CpuId(14)), NodeId(1));
+        assert_eq!(t.node_of(CpuId(27)), NodeId(1));
+    }
+
+    #[test]
+    fn asymmetric_prototype() {
+        // The paper's 16 + 14 WildFire prototype.
+        let t = Topology::builder().node(16).node(14).build().unwrap();
+        assert_eq!(t.num_cpus(), 30);
+        assert_eq!(t.cpus_of(NodeId(0)).count(), 16);
+        assert_eq!(t.cpus_of(NodeId(1)).count(), 14);
+        assert_eq!(t.node_of(CpuId(15)), NodeId(0));
+        assert_eq!(t.node_of(CpuId(16)), NodeId(1));
+    }
+
+    #[test]
+    fn empty_topologies_rejected() {
+        assert_eq!(
+            Topology::builder().build().unwrap_err(),
+            TopologyError::NoNodes
+        );
+        assert_eq!(
+            Topology::builder().node(0).build().unwrap_err(),
+            TopologyError::EmptyNode(NodeId(0))
+        );
+        assert_eq!(Topology::try_symmetric(3, 0).unwrap_err(), TopologyError::EmptyNode(NodeId(0)));
+    }
+
+    #[test]
+    fn round_robin_alternates_nodes() {
+        let t = Topology::symmetric(2, 4);
+        let b = t.round_robin_binding(6);
+        let nodes: Vec<usize> = b.iter().map(|c| t.node_of(*c).index()).collect();
+        assert_eq!(nodes, vec![0, 1, 0, 1, 0, 1]);
+        // All CPUs distinct.
+        let mut sorted = b.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn round_robin_handles_asymmetry() {
+        let t = Topology::builder().node(4).node(2).build().unwrap();
+        let b = t.round_robin_binding(6);
+        assert_eq!(b.len(), 6);
+        let mut sorted = b.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "bindings must be distinct CPUs");
+        // Node 1 only has 2 CPUs; the remaining threads must land on node 0.
+        let n0 = b.iter().filter(|c| t.node_of(**c) == NodeId(0)).count();
+        assert_eq!(n0, 4);
+    }
+
+    #[test]
+    fn block_binding_fills_first_node_first() {
+        let t = Topology::symmetric(2, 4);
+        let b = t.block_binding(5);
+        let nodes: Vec<usize> = b.iter().map(|c| t.node_of(*c).index()).collect();
+        assert_eq!(nodes, vec![0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bind")]
+    fn binding_too_many_threads_panics() {
+        Topology::symmetric(2, 2).round_robin_binding(5);
+    }
+
+    #[test]
+    fn hierarchical_distance() {
+        // 2 NUMA nodes × (2 chips × 4 threads).
+        let t = Topology::builder()
+            .hierarchical_node(&[2, 4])
+            .hierarchical_node(&[2, 4])
+            .build()
+            .unwrap();
+        assert_eq!(t.extra_levels(), 1);
+        assert_eq!(t.num_cpus(), 16);
+        // Same CPU.
+        assert_eq!(t.distance(CpuId(0), CpuId(0)), 0);
+        // Same chip.
+        assert_eq!(t.distance(CpuId(0), CpuId(3)), 1);
+        // Same node, different chip.
+        assert_eq!(t.distance(CpuId(0), CpuId(4)), 2);
+        // Different node.
+        assert_eq!(t.distance(CpuId(0), CpuId(8)), 3);
+    }
+
+    #[test]
+    fn flat_distance() {
+        let t = Topology::symmetric(2, 2);
+        assert_eq!(t.distance(CpuId(0), CpuId(1)), 1);
+        assert_eq!(t.distance(CpuId(0), CpuId(2)), 2);
+    }
+
+    #[test]
+    fn single_node_is_uma() {
+        let t = Topology::single_node(16);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.same_node(CpuId(0), CpuId(15)));
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let t = Topology::symmetric(3, 5);
+        assert_eq!(t.cpus().count(), 15);
+        assert_eq!(t.nodes().count(), 3);
+        let per_node: usize = t.nodes().map(|n| t.cpus_of(n).count()).sum();
+        assert_eq!(per_node, 15);
+    }
+}

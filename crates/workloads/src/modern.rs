@@ -1,0 +1,365 @@
+//! The paper's *new* microbenchmark (Fig. 4): a fixed number of
+//! processors, each looping { acquire; touch `critical_work` elements of a
+//! shared vector; release; static + random private work }. Contention is
+//! controlled by `critical_work`, not by adding processors — "no real
+//! applications have a fixed number of processors pounding on a lock"
+//! (§5.3).
+
+use std::sync::Arc;
+
+use hbo_locks::LockKind;
+use nuca_topology::NodeId;
+use nucasim::{
+    Addr, Command, CpuCtx, Machine, MachineConfig, MemorySystem, Program, SimReport, SplitMix64,
+};
+use nuca_topology::Topology;
+use nucasim_locks::{build_lock, DriveResult, GtSlots, SessionDriver, SimLock, SimLockParams};
+
+use crate::MicroReport;
+
+/// Words per simulated cache line of the `cs_work` vector: the paper's
+/// vector is an `int` array, so 8 four-byte elements share a 32-byte...
+/// rather, 16 share a 64-byte line; we use 8 to keep per-element cost
+/// conservative.
+const ELEMS_PER_LINE: u32 = 8;
+
+/// Configuration of one new-microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct ModernConfig {
+    /// Algorithm under test.
+    pub kind: LockKind,
+    /// Machine description (defaults to the paper's 2×14 WildFire).
+    pub machine: MachineConfig,
+    /// Contending threads, bound round-robin across nodes.
+    pub threads: usize,
+    /// Acquire-release iterations per thread.
+    pub iterations: u32,
+    /// Elements of the shared vector modified inside the critical section
+    /// (the x-axis of Fig. 5; the paper sweeps 0–2100).
+    pub critical_work: u32,
+    /// Static private-work delay in cycles; a uniformly random delay of
+    /// the same magnitude is added ("one static delay and one random delay
+    /// of similar sizes").
+    pub private_work: u64,
+    /// Lock tunables.
+    pub params: SimLockParams,
+    /// QOLB-style *collocation* (paper §3): allocate the first line of the
+    /// protected `cs_work` vector in the same cache line as the lock word,
+    /// so the data travels with the lock at handover. Ignored for locks
+    /// without a single lock word (the queue locks).
+    pub collocate: bool,
+    /// Simulated-cycle budget; runs exceeding it report `finished=false`.
+    pub cycle_limit: u64,
+}
+
+impl Default for ModernConfig {
+    fn default() -> Self {
+        ModernConfig {
+            kind: LockKind::TatasExp,
+            machine: MachineConfig::wildfire(2, 14),
+            threads: 28,
+            iterations: 40,
+            critical_work: 0,
+            private_work: 20_000,
+            params: SimLockParams::default(),
+            collocate: false,
+            cycle_limit: 50_000_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Stagger,
+    Start,
+    Acquiring,
+    CsWork { line: u32 },
+    Releasing,
+    StaticWork,
+    RandomWork,
+}
+
+struct ModernProgram {
+    driver: SessionDriver,
+    cs_lines: Arc<[Addr]>,
+    iterations: u32,
+    cs_line_count: u32,
+    private_work: u64,
+    /// Line 0 is collocated with the lock word: touch it with a read
+    /// (it already arrived with the lock) instead of clobbering the
+    /// lock's value with a write.
+    collocated: bool,
+    rng: SplitMix64,
+    state: State,
+}
+
+impl ModernProgram {
+    fn cs_touch(&self, line: u32, now: u64) -> Command {
+        if line == 0 && self.collocated {
+            Command::Read(self.cs_lines[0])
+        } else {
+            Command::Write(self.cs_lines[line as usize], now)
+        }
+    }
+}
+
+impl ModernProgram {
+    fn drive(&mut self, r: DriveResult, ctx: &mut CpuCtx<'_>) -> Command {
+        match r {
+            DriveResult::Busy(cmd) => cmd,
+            DriveResult::AcquireDone => {
+                ctx.record_acquire(0);
+                if self.cs_line_count == 0 {
+                    self.state = State::Releasing;
+                    return self.release(ctx);
+                }
+                self.state = State::CsWork { line: 0 };
+                self.cs_touch(0, ctx.now)
+            }
+            DriveResult::ReleaseDone => {
+                self.state = State::StaticWork;
+                Command::Delay(self.private_work.max(1))
+            }
+        }
+    }
+
+    fn release(&mut self, ctx: &mut CpuCtx<'_>) -> Command {
+        let r = self.driver.start_release();
+        self.drive(r, ctx)
+    }
+}
+
+impl Program for ModernProgram {
+    fn resume(&mut self, ctx: &mut CpuCtx<'_>, last: Option<u64>) -> Command {
+        loop {
+            match self.state {
+                State::Stagger => {
+                    // Random start offset: real threads never arrive in
+                    // lockstep, and FIFO queue locks are acutely sensitive
+                    // to the initial enqueue order.
+                    self.state = State::Start;
+                    let d = self.rng.next_below(self.private_work.max(2)).max(1);
+                    return Command::Delay(d);
+                }
+                State::Start => {
+                    if self.iterations == 0 {
+                        return Command::Done;
+                    }
+                    self.iterations -= 1;
+                    self.state = State::Acquiring;
+                    let r = self.driver.start_acquire();
+                    return self.drive(r, ctx);
+                }
+                State::Acquiring => {
+                    let r = self.driver.on_result(last);
+                    return self.drive(r, ctx);
+                }
+                State::CsWork { line } => {
+                    let next = line + 1;
+                    if next < self.cs_line_count {
+                        self.state = State::CsWork { line: next };
+                        return self.cs_touch(next, ctx.now);
+                    }
+                    self.state = State::Releasing;
+                    return self.release(ctx);
+                }
+                State::Releasing => {
+                    let r = self.driver.on_result(last);
+                    return self.drive(r, ctx);
+                }
+                State::StaticWork => {
+                    self.state = State::RandomWork;
+                    let d = if self.private_work == 0 {
+                        1
+                    } else {
+                        self.rng.next_below(self.private_work).max(1)
+                    };
+                    return Command::Delay(d);
+                }
+                State::RandomWork => {
+                    self.state = State::Start;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// Builds and runs the benchmark, returning the paper-facing metrics.
+///
+/// # Panics
+///
+/// Panics if `threads` exceeds the machine's CPU count, or if `kind` is
+/// [`LockKind::Rh`] on a machine that does not have exactly two nodes.
+pub fn run_modern(cfg: &ModernConfig) -> MicroReport {
+    let (report, _) = run_modern_raw(cfg);
+    MicroReport::from_sim(cfg.kind, cfg.threads, &report, 0)
+}
+
+/// Like [`run_modern`] but also returns the raw [`SimReport`] for callers
+/// needing finish times or final memory values.
+pub fn run_modern_raw(cfg: &ModernConfig) -> (SimReport, Vec<Addr>) {
+    run_modern_with(cfg, &|mem, topo, gt| {
+        build_lock(cfg.kind, mem, topo, gt, NodeId(0), &cfg.params)
+    })
+}
+
+/// Lock factory signature for [`run_modern_with`]: builds the lock under
+/// test in the machine's memory.
+pub type LockFactory<'a> =
+    dyn Fn(&mut MemorySystem, &Topology, &GtSlots) -> Box<dyn SimLock> + 'a;
+
+/// Runs the benchmark with a caller-supplied lock (e.g. the hierarchical
+/// HBO extension, which is not one of the paper's eight
+/// [`LockKind`]s). `cfg.kind` is used only for labeling.
+pub fn run_modern_with(cfg: &ModernConfig, factory: &LockFactory<'_>) -> (SimReport, Vec<Addr>) {
+    let mut machine = Machine::new(cfg.machine.clone());
+    let topo = Arc::clone(machine.topology());
+    assert!(
+        cfg.threads <= topo.num_cpus(),
+        "{} threads exceed {} CPUs",
+        cfg.threads,
+        topo.num_cpus()
+    );
+    let gt = GtSlots::alloc(machine.mem_mut(), &topo);
+    let lock = {
+        let mem = machine.mem_mut();
+        factory(mem, &topo, &gt)
+    };
+    let cs_line_count = cfg.critical_work.div_ceil(ELEMS_PER_LINE);
+    let mut lines = machine
+        .mem_mut()
+        .alloc_array(NodeId(0), cs_line_count.max(1) as usize);
+    let mut collocated = false;
+    if cfg.collocate {
+        if let Some(word) = lock.lock_word() {
+            // The first protected line *is* the lock line: whoever wins
+            // the lock already holds that data exclusively.
+            lines[0] = word;
+            collocated = true;
+        }
+    }
+    let cs_lines: Arc<[Addr]> = lines.into();
+
+    let mut seed = SplitMix64::new(cfg.machine.seed ^ 0xB0B0);
+    for (i, cpu) in topo
+        .round_robin_binding(cfg.threads)
+        .into_iter()
+        .enumerate()
+    {
+        let node = topo.node_of(cpu);
+        // Stagger start-up a little so contenders do not arrive in
+        // lockstep (real threads never do).
+        let _ = i;
+        machine.add_program(
+            cpu,
+            Box::new(ModernProgram {
+                driver: SessionDriver::new(lock.session(cpu, node)),
+                cs_lines: Arc::clone(&cs_lines),
+                iterations: cfg.iterations,
+                cs_line_count,
+                private_work: cfg.private_work,
+                collocated,
+                rng: seed.split(),
+                state: State::Stagger,
+            }),
+        );
+    }
+    let report = machine.run(cfg.cycle_limit);
+    (report, cs_lines.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: LockKind, critical_work: u32) -> MicroReport {
+        let cfg = ModernConfig {
+            kind,
+            machine: MachineConfig::wildfire(2, 4),
+            threads: 8,
+            iterations: 25,
+            critical_work,
+            private_work: 2_000,
+            ..ModernConfig::default()
+        };
+        run_modern(&cfg)
+    }
+
+    #[test]
+    fn all_kinds_complete_and_count_acquires() {
+        for kind in LockKind::ALL {
+            let r = quick(kind, 100);
+            assert!(r.finished, "{kind} hit the cycle limit");
+            assert_eq!(r.total_acquires, 200, "{kind}");
+            assert!(r.ns_per_iteration > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_critical_work_takes_longer() {
+        let small = quick(LockKind::HboGt, 0);
+        let large = quick(LockKind::HboGt, 1500);
+        assert!(large.elapsed_ns > small.elapsed_ns);
+    }
+
+    #[test]
+    fn nuca_lock_beats_baselines_under_high_contention() {
+        // The headline claim (Fig. 5): with large critical sections the
+        // NUCA-aware locks win on iteration time against the tuned
+        // TATAS_EXP baseline and the queue locks.
+        let hbo = quick(LockKind::HboGt, 1500);
+        let exp = quick(LockKind::TatasExp, 1500);
+        let mcs = quick(LockKind::Mcs, 1500);
+        assert!(
+            hbo.ns_per_iteration < exp.ns_per_iteration,
+            "HBO_GT {:.0} ns/iter vs TATAS_EXP {:.0}",
+            hbo.ns_per_iteration,
+            exp.ns_per_iteration
+        );
+        assert!(
+            hbo.ns_per_iteration < mcs.ns_per_iteration,
+            "HBO_GT {:.0} ns/iter vs MCS {:.0}",
+            hbo.ns_per_iteration,
+            mcs.ns_per_iteration
+        );
+    }
+
+    #[test]
+    fn nuca_locks_cut_global_traffic() {
+        let hbo = quick(LockKind::HboGt, 1500);
+        let tatas = quick(LockKind::Tatas, 1500);
+        assert!(
+            hbo.traffic.global < tatas.traffic.global,
+            "HBO_GT global {} vs TATAS {}",
+            hbo.traffic.global,
+            tatas.traffic.global
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = quick(LockKind::Clh, 300);
+        let b = quick(LockKind::Clh, 300);
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn zero_critical_work_supported() {
+        let r = quick(LockKind::Mcs, 0);
+        assert!(r.finished);
+        assert_eq!(r.total_acquires, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_threads_rejected() {
+        let cfg = ModernConfig {
+            threads: 99,
+            machine: MachineConfig::wildfire(2, 4),
+            ..ModernConfig::default()
+        };
+        let _ = run_modern(&cfg);
+    }
+}

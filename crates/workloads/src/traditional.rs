@@ -1,0 +1,273 @@
+//! The traditional microbenchmark (§5.2): a tight acquire-release loop,
+//! "slightly modified" with the `last_owner` rule — after releasing, a
+//! thread must observe a *different* owner in the critical section before
+//! it may contend again (the last remaining thread is exempt so the run
+//! terminates).
+
+use std::sync::Arc;
+
+use hbo_locks::LockKind;
+use nuca_topology::NodeId;
+use nucasim::{Addr, Command, CpuCtx, Machine, MachineConfig, Program, SplitMix64};
+use nucasim_locks::{build_lock, DriveResult, GtSlots, SessionDriver, SimLockParams};
+
+use crate::MicroReport;
+
+/// Configuration of one traditional-microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct TraditionalConfig {
+    /// Algorithm under test.
+    pub kind: LockKind,
+    /// Machine description.
+    pub machine: MachineConfig,
+    /// Contending threads, bound round-robin across nodes (the paper's
+    /// binding).
+    pub threads: usize,
+    /// Acquire-release iterations per thread.
+    pub iterations: u32,
+    /// Lock tunables.
+    pub params: SimLockParams,
+    /// Simulated-cycle budget.
+    pub cycle_limit: u64,
+}
+
+impl Default for TraditionalConfig {
+    fn default() -> Self {
+        TraditionalConfig {
+            kind: LockKind::TatasExp,
+            machine: MachineConfig::wildfire(2, 14),
+            threads: 28,
+            iterations: 50,
+            params: SimLockParams::default(),
+            cycle_limit: 50_000_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Stagger,
+    Start,
+    Acquiring,
+    /// Inside the CS: writing `last_owner = me`.
+    SetOwner,
+    Releasing,
+    /// Outside: reading `last_owner`.
+    CheckOwner,
+    /// Outside: reading the finished-thread counter.
+    CheckDone,
+    /// Polling pause before re-checking.
+    Pause,
+    /// Finishing: bump the finished counter, then done.
+    BumpDone,
+}
+
+struct TraditionalProgram {
+    driver: SessionDriver,
+    stagger: u64,
+    last_owner: Addr,
+    done_count: Addr,
+    me: u64,
+    others: u64,
+    iterations: u32,
+    state: State,
+}
+
+impl TraditionalProgram {
+    fn drive(&mut self, r: DriveResult, ctx: &mut CpuCtx<'_>) -> Command {
+        match r {
+            DriveResult::Busy(cmd) => cmd,
+            DriveResult::AcquireDone => {
+                ctx.record_acquire(0);
+                self.state = State::SetOwner;
+                Command::Write(self.last_owner, self.me)
+            }
+            DriveResult::ReleaseDone => {
+                if self.iterations == 0 {
+                    self.state = State::BumpDone;
+                    Command::FetchAdd {
+                        addr: self.done_count,
+                        delta: 1,
+                    }
+                } else {
+                    self.state = State::CheckOwner;
+                    Command::Read(self.last_owner)
+                }
+            }
+        }
+    }
+}
+
+impl Program for TraditionalProgram {
+    fn resume(&mut self, ctx: &mut CpuCtx<'_>, last: Option<u64>) -> Command {
+        match self.state {
+            State::Stagger => {
+                // Random start offset: FIFO queue locks are acutely
+                // sensitive to a deterministic initial enqueue order.
+                self.state = State::Start;
+                Command::Delay(self.stagger)
+            }
+            State::Start => {
+                if self.iterations == 0 {
+                    self.state = State::BumpDone;
+                    return Command::FetchAdd {
+                        addr: self.done_count,
+                        delta: 1,
+                    };
+                }
+                self.iterations -= 1;
+                self.state = State::Acquiring;
+                let r = self.driver.start_acquire();
+                self.drive(r, ctx)
+            }
+            State::Acquiring => {
+                let r = self.driver.on_result(last);
+                self.drive(r, ctx)
+            }
+            State::SetOwner => {
+                self.state = State::Releasing;
+                let r = self.driver.start_release();
+                self.drive(r, ctx)
+            }
+            State::Releasing => {
+                let r = self.driver.on_result(last);
+                self.drive(r, ctx)
+            }
+            State::CheckOwner => {
+                if last != Some(self.me) {
+                    // A new owner appeared: contend again.
+                    self.state = State::Start;
+                    return self.resume(ctx, None);
+                }
+                self.state = State::CheckDone;
+                Command::Read(self.done_count)
+            }
+            State::CheckDone => {
+                if last == Some(self.others) {
+                    // Everyone else finished: the exemption applies.
+                    self.state = State::Start;
+                    return self.resume(ctx, None);
+                }
+                self.state = State::Pause;
+                Command::Delay(200)
+            }
+            State::Pause => {
+                self.state = State::CheckOwner;
+                Command::Read(self.last_owner)
+            }
+            State::BumpDone => Command::Done,
+        }
+    }
+}
+
+/// Builds and runs the benchmark.
+///
+/// # Panics
+///
+/// Panics if `threads` exceeds the machine's CPU count or is zero.
+pub fn run_traditional(cfg: &TraditionalConfig) -> MicroReport {
+    let mut machine = Machine::new(cfg.machine.clone());
+    let topo = Arc::clone(machine.topology());
+    assert!(cfg.threads > 0, "need at least one thread");
+    assert!(
+        cfg.threads <= topo.num_cpus(),
+        "{} threads exceed {} CPUs",
+        cfg.threads,
+        topo.num_cpus()
+    );
+    let gt = GtSlots::alloc(machine.mem_mut(), &topo);
+    let lock = build_lock(
+        cfg.kind,
+        machine.mem_mut(),
+        &topo,
+        &gt,
+        NodeId(0),
+        &cfg.params,
+    );
+    let last_owner = machine.mem_mut().alloc(NodeId(0));
+    let done_count = machine.mem_mut().alloc(NodeId(0));
+    let mut seed = SplitMix64::new(cfg.machine.seed ^ 0x7AAD);
+
+    for (i, cpu) in topo
+        .round_robin_binding(cfg.threads)
+        .into_iter()
+        .enumerate()
+    {
+        let node = topo.node_of(cpu);
+        machine.add_program(
+            cpu,
+            Box::new(TraditionalProgram {
+                driver: SessionDriver::new(lock.session(cpu, node)),
+                stagger: seed.next_below(4_000) + 1,
+                last_owner,
+                done_count,
+                me: i as u64 + 1,
+                others: cfg.threads as u64 - 1,
+                iterations: cfg.iterations,
+                state: State::Stagger,
+            }),
+        );
+    }
+    let report = machine.run(cfg.cycle_limit);
+    MicroReport::from_sim(cfg.kind, cfg.threads, &report, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: LockKind, threads: usize) -> MicroReport {
+        run_traditional(&TraditionalConfig {
+            kind,
+            machine: MachineConfig::wildfire(2, 4),
+            threads,
+            iterations: 30,
+            ..TraditionalConfig::default()
+        })
+    }
+
+    #[test]
+    fn all_kinds_complete() {
+        for kind in LockKind::ALL {
+            let r = quick(kind, 8);
+            assert!(r.finished, "{kind} hit the cycle limit");
+            assert_eq!(r.total_acquires, 8 * 30, "{kind}");
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        // The last-remaining-thread exemption: with one thread the
+        // last_owner never changes, yet the run must terminate.
+        let r = quick(LockKind::Tatas, 1);
+        assert!(r.finished);
+        assert_eq!(r.total_acquires, 30);
+    }
+
+    #[test]
+    fn queue_locks_show_high_node_handoff() {
+        // Paper §5.2: queue locks are expected near (N/2)/(N-1) with
+        // round-robin binding and the new-owner rule.
+        let r = quick(LockKind::Mcs, 8);
+        let h = r.handoff_ratio.unwrap();
+        assert!(h > 0.3, "MCS handoff {h:.3} should approach 4/7");
+    }
+
+    #[test]
+    fn nuca_locks_show_low_node_handoff() {
+        let r = quick(LockKind::HboGtSd, 8);
+        let h = r.handoff_ratio.unwrap();
+        let m = quick(LockKind::Mcs, 8).handoff_ratio.unwrap();
+        assert!(h < m, "HBO_GT_SD {h:.3} vs MCS {m:.3}");
+    }
+
+    #[test]
+    fn two_threads_alternate_strictly() {
+        // With two threads the new-owner rule forces strict alternation:
+        // handoff ratio equals 1 when they sit in different nodes.
+        let r = quick(LockKind::Clh, 2);
+        assert!(r.finished);
+        let h = r.handoff_ratio.unwrap();
+        assert!(h > 0.9, "alternating cross-node ownership, got {h:.3}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Contended-counter shootout on real threads: sweep critical-section
+//! sizes and compare every algorithm's throughput and fairness.
+//!
+//! ```bash
+//! cargo run --release --example contended_counter
+//! ```
+//!
+//! This is the real-thread analogue of the paper's *new microbenchmark*
+//! (Fig. 4): each thread loops { acquire; touch `cs_work` slots of a
+//! shared vector; release; private work }. On a machine with a real NUMA
+//! topology, bind threads to nodes and register them accordingly; here we
+//! emulate a 2-node shape by registration alone, which still exercises
+//! every code path of the NUCA-aware algorithms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hbo_repro::hbo_locks::{LockKind, NucaLock};
+use hbo_repro::nuca_topology::{register_thread, Topology};
+
+const CS_SLOTS: usize = 64;
+
+struct Shared {
+    cs_work: Vec<AtomicU64>,
+    finished: Vec<AtomicU64>,
+}
+
+fn main() {
+    let topo = Topology::symmetric(2, 2);
+    let threads = topo.num_cpus();
+    let iterations = 30_000u64;
+
+    for cs_len in [0usize, 16, 64] {
+        println!("\n== critical work: {cs_len} slots ==");
+        println!("{:<10} {:>12} {:>14}", "lock", "ns/iter", "spread %");
+        for kind in LockKind::ALL {
+            let lock = Arc::new(kind.instantiate(topo.num_nodes()));
+            let shared = Arc::new(Shared {
+                cs_work: (0..CS_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+                finished: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            });
+            let started = Instant::now();
+            std::thread::scope(|s| {
+                for (i, cpu) in topo.round_robin_binding(threads).into_iter().enumerate() {
+                    let lock = Arc::clone(&lock);
+                    let shared = Arc::clone(&shared);
+                    let node = topo.node_of(cpu);
+                    s.spawn(move || {
+                        let _reg = register_thread(node);
+                        let t0 = Instant::now();
+                        let mut private = 0u64;
+                        for n in 0..iterations {
+                            let token = lock.acquire(node);
+                            for slot in shared.cs_work.iter().take(cs_len) {
+                                slot.fetch_add(1, Ordering::Relaxed);
+                            }
+                            lock.release(token);
+                            // Private work between attempts.
+                            for _ in 0..(50 + n % 50) {
+                                private = private.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            }
+                        }
+                        std::hint::black_box(private);
+                        shared.finished[i].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    });
+                }
+            });
+            let elapsed = started.elapsed().as_nanos() as f64;
+            let finish: Vec<u64> = shared
+                .finished
+                .iter()
+                .map(|f| f.load(Ordering::Relaxed))
+                .collect();
+            let max = *finish.iter().max().expect("nonempty") as f64;
+            let min = *finish.iter().min().expect("nonempty") as f64;
+            // Every slot touched must show the exact global count.
+            if cs_len > 0 {
+                let expect = iterations * threads as u64;
+                assert_eq!(shared.cs_work[0].load(Ordering::Relaxed), expect);
+            }
+            println!(
+                "{:<10} {:>12.1} {:>14.1}",
+                kind.as_str(),
+                elapsed / (iterations * threads as u64) as f64,
+                (max - min) / max * 100.0,
+            );
+        }
+    }
+}

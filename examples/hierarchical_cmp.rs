@@ -1,0 +1,96 @@
+//! The hierarchical HBO lock on a CMP-in-NUMA machine shape.
+//!
+//! ```bash
+//! cargo run --release --example hierarchical_cmp
+//! ```
+//!
+//! Builds a machine description with *two* levels of nonuniformity — NUMA
+//! nodes containing multi-core chips (the future the paper's §2
+//! predicted) — and compares the flat, node-aware HBO lock against
+//! [`HierHboLock`], which distinguishes same-chip from cross-chip
+//! neighbors with a third backoff class.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hbo_repro::hbo_locks::{HboLock, HierHboLock, LevelBackoff, NucaLock};
+use hbo_repro::nuca_topology::{register_thread, Topology};
+
+const ITERS: u64 = 100_000;
+
+fn main() {
+    // 2 NUMA nodes × 2 chips × 2 hardware threads.
+    let topo = Arc::new(
+        Topology::builder()
+            .hierarchical_node(&[2, 2])
+            .hierarchical_node(&[2, 2])
+            .build()
+            .expect("static shape"),
+    );
+    println!(
+        "machine: {} nodes, {} CPUs, {} extra hierarchy level(s)\n",
+        topo.num_nodes(),
+        topo.num_cpus(),
+        topo.extra_levels()
+    );
+
+    // Flat HBO: only node-aware.
+    let flat = Arc::new(HboLock::new());
+    let t_flat = run("HBO (flat)", &topo, |cpu, counter| {
+        let node = topo.node_of(cpu);
+        let _reg = register_thread(node);
+        for _ in 0..ITERS {
+            let t = flat.acquire(node);
+            let v = counter.load(Ordering::Relaxed);
+            counter.store(v + 1, Ordering::Relaxed);
+            flat.release(t);
+        }
+    });
+
+    // Hierarchical HBO: chip / node / remote backoff classes.
+    let hier = Arc::new(HierHboLock::new(
+        Arc::clone(&topo),
+        LevelBackoff::geometric(3, 16, 256, 4),
+    ));
+    let t_hier = run("HBO_HIER", &topo, |cpu, counter| {
+        let node = topo.node_of(cpu);
+        let _reg = register_thread(node);
+        for _ in 0..ITERS {
+            let t = hier.acquire_from(cpu);
+            let v = counter.load(Ordering::Relaxed);
+            counter.store(v + 1, Ordering::Relaxed);
+            hier.release(t);
+        }
+    });
+
+    println!(
+        "\nHBO_HIER / HBO wall-time ratio: {:.2} (machine-dependent; the \
+         simulator experiments — `experiments -- hier` — isolate the effect)",
+        t_hier / t_flat
+    );
+}
+
+fn run(
+    label: &str,
+    topo: &Arc<Topology>,
+    body: impl Fn(hbo_repro::nuca_topology::CpuId, &AtomicU64) + Sync,
+) -> f64 {
+    let counter = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for cpu in topo.round_robin_binding(topo.num_cpus()) {
+            let body = &body;
+            let counter = &counter;
+            s.spawn(move || body(cpu, counter));
+        }
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let total = counter.load(Ordering::Relaxed);
+    assert_eq!(total, ITERS * topo.num_cpus() as u64, "lost updates!");
+    println!(
+        "{label:<12} {total} acquisitions in {secs:.3} s ({:.0} ns each)",
+        secs * 1e9 / total as f64
+    );
+    secs
+}

@@ -1,0 +1,69 @@
+//! Drive the NUCA simulator directly: rebuild the paper's headline
+//! comparison (new microbenchmark, 28 simulated processors on a 2-node
+//! WildFire) and print a compact report.
+//!
+//! ```bash
+//! cargo run --release --example wildfire_study [critical_work]
+//! ```
+//!
+//! This example shows the public simulator API end-to-end: configure a
+//! machine, run a workload for every lock algorithm, and read time,
+//! node-handoff and traffic metrics from the report.
+
+use hbo_repro::hbo_locks::LockKind;
+use hbo_repro::nuca_workloads::modern::{run_modern, ModernConfig};
+use hbo_repro::nucasim::MachineConfig;
+
+fn main() {
+    let critical_work: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+
+    println!("2-node Sun WildFire model, 28 CPUs, critical_work = {critical_work}");
+    println!(
+        "{:<10} {:>12} {:>9} {:>12} {:>12}",
+        "lock", "ns/iter", "handoff", "local txns", "global txns"
+    );
+
+    let mut baseline = None;
+    for kind in LockKind::ALL {
+        let report = run_modern(&ModernConfig {
+            kind,
+            machine: MachineConfig::wildfire(2, 14),
+            threads: 28,
+            iterations: 40,
+            critical_work,
+            ..ModernConfig::default()
+        });
+        if kind == LockKind::TatasExp {
+            baseline = Some(report.ns_per_iteration);
+        }
+        println!(
+            "{:<10} {:>12.0} {:>9} {:>12} {:>12}",
+            kind.as_str(),
+            report.ns_per_iteration,
+            report
+                .handoff_ratio
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            report.traffic.local,
+            report.traffic.global,
+        );
+    }
+
+    if let Some(exp) = baseline {
+        let hbo = run_modern(&ModernConfig {
+            kind: LockKind::HboGt,
+            machine: MachineConfig::wildfire(2, 14),
+            threads: 28,
+            iterations: 40,
+            critical_work,
+            ..ModernConfig::default()
+        });
+        println!(
+            "\nHBO_GT is {:.1}x faster than TATAS_EXP at this contention level.",
+            exp / hbo.ns_per_iteration
+        );
+    }
+}

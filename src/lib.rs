@@ -1,0 +1,29 @@
+//! Umbrella crate for the HBO-lock reproduction: re-exports the workspace
+//! crates so examples and integration tests have a single dependency.
+//!
+//! * [`hbo_locks`] — the real-atomics lock library (the paper's
+//!   contribution).
+//! * [`nuca_topology`] — machine shapes and thread-to-node registration.
+//! * [`nucasim`] — the NUCA machine simulator.
+//! * [`nucasim_locks`] — the lock algorithms as simulator state machines.
+//! * [`nuca_workloads`] — microbenchmarks and SPLASH-2 application models.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! # Example
+//!
+//! ```
+//! use hbo_repro::hbo_locks::{HboLock, NucaLockExt};
+//!
+//! let lock = HboLock::new();
+//! let guard = lock.lock();
+//! drop(guard);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hbo_locks;
+pub use nuca_topology;
+pub use nuca_workloads;
+pub use nucasim;
+pub use nucasim_locks;

@@ -1,0 +1,186 @@
+//! Integration tests of the real-atomics lock library: every algorithm
+//! must satisfy the `NucaLock` contract under genuine multi-threaded
+//! stress.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hbo_repro::hbo_locks::{
+    GtContext, HboGtSdConfig, HboGtSdLock, Instrumented, LockKind, NucaLock, NucaLockExt,
+    NucaMutex,
+};
+use hbo_repro::nuca_topology::{register_thread, NodeId, Topology};
+
+/// A plain (non-atomic-looking) read-modify-write under the lock: any
+/// mutual-exclusion failure loses updates and the final count comes up
+/// short.
+fn hammer(kind: LockKind, threads: usize, iters: u64) {
+    let topo = Topology::symmetric(2, threads.div_ceil(2));
+    let lock = Arc::new(kind.instantiate(topo.num_nodes()));
+    let counter = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for cpu in topo.round_robin_binding(threads) {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            let node = topo.node_of(cpu);
+            s.spawn(move || {
+                let _reg = register_thread(node);
+                for _ in 0..iters {
+                    let token = lock.acquire(node);
+                    let v = counter.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.release(token);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        iters * threads as u64,
+        "{kind}: mutual exclusion violated"
+    );
+}
+
+#[test]
+fn mutual_exclusion_all_kinds_four_threads() {
+    for kind in LockKind::ALL {
+        hammer(kind, 4, 4_000);
+    }
+}
+
+#[test]
+fn mutual_exclusion_all_kinds_oversubscribed() {
+    // More threads than cores: exercises preemption of spinners and
+    // queue waiters on the host OS.
+    for kind in LockKind::ALL {
+        hammer(kind, 8, 500);
+    }
+}
+
+#[test]
+fn try_acquire_never_blocks_and_never_lies() {
+    for kind in LockKind::ALL {
+        let lock = kind.instantiate(2);
+        let t = lock
+            .try_acquire(NodeId(0))
+            .unwrap_or_else(|| panic!("{kind}: free lock refused"));
+        assert!(
+            lock.try_acquire(NodeId(0)).is_none(),
+            "{kind}: double acquire"
+        );
+        lock.release(t);
+    }
+}
+
+#[test]
+fn guards_release_on_panic() {
+    // A panicking critical section must not poison or wedge the lock.
+    let lock = Arc::new(LockKind::HboGtSd.instantiate(2));
+    let l2 = Arc::clone(&lock);
+    let result = std::thread::spawn(move || {
+        let _guard = l2.lock();
+        panic!("inside critical section");
+    })
+    .join();
+    assert!(result.is_err());
+    // The guard's Drop ran during unwinding: lock must be free.
+    let t = lock
+        .try_acquire(NodeId(0))
+        .expect("lock released by unwinding guard");
+    lock.release(t);
+}
+
+#[test]
+fn mutex_protects_non_send_patterns() {
+    // A NucaMutex<Vec> exercised concurrently keeps its invariants.
+    let mutex = Arc::new(NucaMutex::new(LockKind::Clh.instantiate(2), Vec::new()));
+    std::thread::scope(|s| {
+        for i in 0..4u64 {
+            let mutex = Arc::clone(&mutex);
+            s.spawn(move || {
+                for j in 0..2_000 {
+                    mutex.lock().push(i * 1_000_000 + j);
+                }
+            });
+        }
+    });
+    let v = mutex.lock();
+    assert_eq!(v.len(), 8_000);
+}
+
+#[test]
+fn instrumented_counts_under_concurrency() {
+    let topo = Topology::symmetric(2, 2);
+    let lock = Arc::new(Instrumented::new(LockKind::Hbo.instantiate(2)));
+    std::thread::scope(|s| {
+        for cpu in topo.round_robin_binding(4) {
+            let lock = Arc::clone(&lock);
+            let node = topo.node_of(cpu);
+            s.spawn(move || {
+                for _ in 0..2_500 {
+                    let t = lock.acquire(node);
+                    lock.release(t);
+                }
+            });
+        }
+    });
+    assert_eq!(lock.stats().acquisitions, 10_000);
+    assert!(lock.stats().node_handoffs < 10_000);
+}
+
+#[test]
+fn starvation_detection_lets_remote_node_in() {
+    // Node 0 hammers with zero think time; a node 1 thread must complete
+    // a fixed quota in bounded wall time thanks to HBO_GT_SD's measures.
+    let ctx = GtContext::new(2);
+    let lock = Arc::new(HboGtSdLock::with_config(
+        ctx,
+        HboGtSdConfig {
+            get_angry_limit: 4,
+            ..HboGtSdConfig::default()
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let t = lock.acquire(NodeId(0));
+                    std::hint::spin_loop();
+                    lock.release(t);
+                }
+            });
+        }
+        let lock1 = Arc::clone(&lock);
+        let stop1 = Arc::clone(&stop);
+        s.spawn(move || {
+            for _ in 0..100 {
+                let t = lock1.acquire(NodeId(1));
+                lock1.release(t);
+            }
+            stop1.store(true, Ordering::Relaxed);
+        })
+        .join()
+        .expect("remote thread completed its quota");
+    });
+}
+
+#[test]
+fn tokens_travel_between_threads() {
+    // Acquire here, release on another thread — valid for every kind.
+    for kind in LockKind::ALL {
+        let lock = Arc::new(kind.instantiate(2));
+        let token = lock.acquire(NodeId(0));
+        let l2 = Arc::clone(&lock);
+        std::thread::spawn(move || l2.release(token))
+            .join()
+            .unwrap();
+        let t = lock
+            .try_acquire(NodeId(0))
+            .unwrap_or_else(|| panic!("{kind}: not released"));
+        lock.release(t);
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end checks that each experiment artifact regenerates and shows
+//! the paper's qualitative result at smoke-test scale.
+
+use nuca_experiments::{run_experiment, Scale, EXPERIMENTS, EXTENSIONS};
+
+#[test]
+fn every_artifact_regenerates() {
+    for id in EXPERIMENTS.iter().chain(EXTENSIONS.iter()) {
+        let reports = run_experiment(id, Scale::Fast).expect("known id");
+        assert!(!reports.is_empty(), "{id}: no report produced");
+        for r in &reports {
+            assert!(r.rows() > 0, "{id}: empty table");
+            // Render and TSV serialization never panic and carry data.
+            assert!(r.render().contains(r.id()));
+            assert!(r.to_tsv().lines().count() > 1);
+        }
+    }
+}
+
+#[test]
+fn table1_hbo_matches_simplest_locks() {
+    let r = &run_experiment("table1", Scale::Fast).unwrap()[0];
+    let ns = |k: &str, col: usize| -> u64 {
+        r.row_by_key(k).unwrap()[col]
+            .trim_end_matches(" ns")
+            .parse()
+            .unwrap()
+    };
+    // Same-processor: HBO within a whisker of TATAS; queue locks above.
+    assert!(ns("HBO", 1).abs_diff(ns("TATAS", 1)) < 80);
+    assert!(ns("MCS", 1) > ns("TATAS", 1));
+    assert!(ns("CLH", 1) > ns("TATAS", 1));
+    // RH's remote-node acquisition is the most expensive, like the paper.
+    assert!(ns("RH", 3) > ns("HBO", 3));
+}
+
+#[test]
+fn table2_nuca_locks_cut_global_traffic() {
+    let r = &run_experiment("table2", Scale::Fast).unwrap()[0];
+    let global = |k: &str| -> f64 { r.row_by_key(k).unwrap()[2].parse().unwrap() };
+    for k in ["RH", "HBO", "HBO_GT", "HBO_GT_SD"] {
+        assert!(
+            global(k) < global("MCS"),
+            "{k} {} vs MCS {}",
+            global(k),
+            global("MCS")
+        );
+        assert!(global(k) < 1.0, "{k} must beat the TATAS_EXP baseline");
+    }
+}
+
+#[test]
+fn table4_queue_locks_collapse_only_when_preempted() {
+    let r = &run_experiment("table4", Scale::Fast).unwrap()[0];
+    let cell = |k: &str, col: usize| r.row_by_key(k).unwrap()[col].clone();
+    let parse = |s: &str| -> Option<f64> { s.parse().ok() };
+    // 28-CPU column: everyone finishes.
+    for k in ["MCS", "CLH", "HBO_GT_SD"] {
+        assert!(
+            parse(&cell(k, 2)).is_some(),
+            "{k} should finish at 28 CPUs: {}",
+            cell(k, 2)
+        );
+    }
+    // Preempted column: the HBO family finishes; queue locks are far
+    // slower or time out entirely.
+    let hbo = parse(&cell("HBO_GT_SD", 3)).expect("HBO_GT_SD survives preemption");
+    for k in ["MCS", "CLH"] {
+        match parse(&cell(k, 3)) {
+            None => {} // "> N s": timed out, the paper's exact outcome
+            Some(secs) => assert!(
+                secs > 3.0 * hbo,
+                "{k} {secs}s vs HBO_GT_SD {hbo}s under preemption"
+            ),
+        }
+    }
+}
+
+#[test]
+fn fig10_small_anger_limits_cost_throughput() {
+    let r = &run_experiment("fig10", Scale::Fast).unwrap()[0];
+    let sd = r.row_by_key("HBO_GT_SD").unwrap();
+    let first: f64 = sd[1].parse().unwrap();
+    let last: f64 = sd.last().unwrap().parse().unwrap();
+    assert!(
+        first > last,
+        "limit=2 ({first}) should be slower than limit=128 ({last})"
+    );
+}
+
+#[test]
+fn nuca_ratio_extension_shows_growing_advantage() {
+    let r = &run_experiment("nuca_ratio", Scale::Fast).unwrap()[0];
+    let first: f64 = r.cell(0, 3).unwrap().parse().unwrap(); // UMA
+    let last: f64 = r.cell(r.rows() - 1, 3).unwrap().parse().unwrap(); // NUMA-Q
+    assert!(last > first, "MCS/HBO_GT ratio must grow with NUCA ratio");
+}
+
+#[test]
+fn unknown_artifact_rejected() {
+    assert!(run_experiment("table9", Scale::Fast).is_err());
+}

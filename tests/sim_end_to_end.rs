@@ -1,0 +1,206 @@
+//! Integration tests spanning the simulator stack: topology → machine →
+//! lock state machines → workloads.
+
+use hbo_repro::hbo_locks::LockKind;
+use hbo_repro::nuca_workloads::apps::{app_by_name, run_app, AppRunConfig};
+use hbo_repro::nuca_workloads::modern::{run_modern, ModernConfig};
+use hbo_repro::nuca_workloads::traditional::{run_traditional, TraditionalConfig};
+use hbo_repro::nuca_workloads::uncontested::run_uncontested;
+use hbo_repro::nucasim::{MachineConfig, PreemptionConfig};
+use hbo_repro::nucasim_locks::SimLockParams;
+
+fn modern(kind: LockKind, cw: u32) -> hbo_repro::nuca_workloads::MicroReport {
+    run_modern(&ModernConfig {
+        kind,
+        machine: MachineConfig::wildfire(2, 4),
+        threads: 8,
+        iterations: 25,
+        critical_work: cw,
+        private_work: 4_000,
+        ..ModernConfig::default()
+    })
+}
+
+#[test]
+fn headline_claim_nuca_beats_others_at_high_contention() {
+    // Paper §1: "more than twice as fast for contended locks" (vs queue
+    // locks) at the highest contention level of the new microbenchmark.
+    let hbo = modern(LockKind::HboGt, 2100);
+    let mcs = modern(LockKind::Mcs, 2100);
+    assert!(
+        mcs.ns_per_iteration / hbo.ns_per_iteration > 2.0,
+        "HBO_GT {:.0} vs MCS {:.0} — expected > 2x",
+        hbo.ns_per_iteration,
+        mcs.ns_per_iteration
+    );
+}
+
+#[test]
+fn uncontested_claim_hbo_adds_no_overhead() {
+    // Paper §4.1: "at low contention ... the algorithm should not add any
+    // overhead" relative to the simplest locks.
+    let machine = MachineConfig::wildfire(2, 2);
+    let params = SimLockParams::default();
+    let tatas = run_uncontested(LockKind::Tatas, &machine, &params);
+    for kind in [LockKind::Hbo, LockKind::HboGt, LockKind::HboGtSd] {
+        let r = run_uncontested(kind, &machine, &params);
+        assert!(
+            r.same_processor_ns <= tatas.same_processor_ns + 60,
+            "{kind}: {} vs TATAS {}",
+            r.same_processor_ns,
+            tatas.same_processor_ns
+        );
+    }
+    // Queue locks do add overhead (the paper's motivation for HBO).
+    let mcs = run_uncontested(LockKind::Mcs, &machine, &params);
+    assert!(mcs.same_processor_ns > tatas.same_processor_ns);
+}
+
+#[test]
+fn traffic_claim_nuca_cuts_global_transactions() {
+    // Paper abstract: global traffic reduced severalfold for contended
+    // locks.
+    let exp = modern(LockKind::TatasExp, 1500);
+    let hbo = modern(LockKind::HboGt, 1500);
+    assert!(
+        (hbo.traffic.global as f64) < 0.7 * exp.traffic.global as f64,
+        "HBO_GT global {} vs TATAS_EXP {}",
+        hbo.traffic.global,
+        exp.traffic.global
+    );
+}
+
+#[test]
+fn queue_locks_collapse_under_preemption() {
+    // Paper Table 4: queue locks are "practically unusable" when the OS
+    // preempts threads; backoff locks shrug.
+    let ray = app_by_name("Raytrace").expect("studied app");
+    let run = |kind: LockKind| {
+        run_app(
+            &ray,
+            &AppRunConfig {
+                kind,
+                // Dense disturbance: the smoke-scale run is far shorter
+                // than a real multiprogrammed quantum cycle, so the gaps
+                // shrink proportionally.
+                machine: MachineConfig::wildfire(2, 4).with_preemption(PreemptionConfig {
+                    mean_gap: 120_000,
+                    quantum: 300_000,
+                }),
+                threads: 8,
+                scale: 0.004,
+                cycle_limit: 3_000_000_000,
+                ..AppRunConfig::default()
+            },
+        )
+    };
+    let mcs = run(LockKind::Mcs);
+    let hbo = run(LockKind::HboGtSd);
+    assert!(hbo.finished, "HBO_GT_SD must survive preemption");
+    let ratio = mcs.seconds / hbo.seconds;
+    assert!(
+        !mcs.finished || ratio > 3.0,
+        "MCS {:.3}s (finished={}) vs HBO_GT_SD {:.3}s",
+        mcs.seconds,
+        mcs.finished,
+        hbo.seconds
+    );
+}
+
+#[test]
+fn traditional_and_modern_agree_on_lock_ordering() {
+    // Both microbenchmarks must rank the NUCA locks at or below the queue
+    // locks' iteration time under contention.
+    let trad_mcs = run_traditional(&TraditionalConfig {
+        kind: LockKind::Mcs,
+        machine: MachineConfig::wildfire(2, 4),
+        threads: 8,
+        iterations: 40,
+        ..TraditionalConfig::default()
+    });
+    let trad_hbo = run_traditional(&TraditionalConfig {
+        kind: LockKind::HboGtSd,
+        machine: MachineConfig::wildfire(2, 4),
+        threads: 8,
+        iterations: 40,
+        ..TraditionalConfig::default()
+    });
+    assert!(trad_hbo.ns_per_iteration < trad_mcs.ns_per_iteration);
+    let mod_mcs = modern(LockKind::Mcs, 1000);
+    let mod_hbo = modern(LockKind::HboGtSd, 1000);
+    assert!(mod_hbo.ns_per_iteration < mod_mcs.ns_per_iteration);
+}
+
+#[test]
+fn simulation_is_reproducible_end_to_end() {
+    let a = modern(LockKind::HboGtSd, 900);
+    let b = modern(LockKind::HboGtSd, 900);
+    assert_eq!(a.elapsed_ns, b.elapsed_ns);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.handoff_ratio, b.handoff_ratio);
+}
+
+#[test]
+fn different_seeds_change_timings_but_not_counts() {
+    let mut cfg = ModernConfig {
+        kind: LockKind::TatasExp,
+        machine: MachineConfig::wildfire(2, 4),
+        threads: 8,
+        iterations: 25,
+        critical_work: 500,
+        ..ModernConfig::default()
+    };
+    let a = run_modern(&cfg);
+    cfg.machine = cfg.machine.with_seed(12345);
+    let b = run_modern(&cfg);
+    assert_eq!(a.total_acquires, b.total_acquires);
+    assert_ne!(
+        a.elapsed_ns, b.elapsed_ns,
+        "different seeds should perturb timing"
+    );
+}
+
+#[test]
+fn all_studied_apps_complete_with_all_locks() {
+    for app in hbo_repro::nuca_workloads::apps::studied_apps() {
+        for kind in [LockKind::TatasExp, LockKind::Clh, LockKind::HboGtSd] {
+            let r = run_app(
+                &app,
+                &AppRunConfig {
+                    kind,
+                    machine: MachineConfig::wildfire(2, 4),
+                    threads: 8,
+                    scale: 0.002,
+                    ..AppRunConfig::default()
+                },
+            );
+            assert!(r.finished, "{} with {kind} stuck", app.name);
+            assert!(r.acquires > 0);
+        }
+    }
+}
+
+#[test]
+fn uma_machine_neutralizes_nuca_advantage() {
+    // On a single-node E6000 there are no remote nodes: HBO and TATAS_EXP
+    // behave alike (within noise), confirming the mechanism is NUCA
+    // locality and not something else.
+    let run = |kind: LockKind| {
+        run_modern(&ModernConfig {
+            kind,
+            machine: MachineConfig::e6000(8),
+            threads: 8,
+            iterations: 25,
+            critical_work: 1000,
+            private_work: 4_000,
+            ..ModernConfig::default()
+        })
+    };
+    let hbo = run(LockKind::Hbo);
+    let exp = run(LockKind::TatasExp);
+    let ratio = exp.ns_per_iteration / hbo.ns_per_iteration;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "UMA ratio {ratio} should be near 1"
+    );
+}

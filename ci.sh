@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint, then smoke-run the experiment
+# harness at CI scale with parallel jobs. Mirrors what the GitHub
+# workflow runs; usable locally as ./ci.sh.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> harness smoke run (all artifacts, fast scale, 2 jobs)"
+./target/release/experiments all --fast --jobs 2 --out target/ci-experiments \
+    --bench-json target/ci-experiments/bench.json >/dev/null
+
+echo "==> ci OK"

@@ -1,0 +1,203 @@
+//! A minimal, API-compatible stand-in for the subset of the `criterion`
+//! benchmark harness this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `criterion` cannot be vendored. This shim keeps the `benches/`
+//! directory compiling and producing useful wall-clock numbers: each
+//! benchmark is warmed up once, then timed for up to `measurement_time`
+//! (or `sample_size` iterations, whichever bound is hit first), and the
+//! mean per-iteration time is printed in criterion's familiar
+//! `name ... time: [..]` shape.
+//!
+//! Statistical machinery (outlier detection, regressions, HTML reports)
+//! is intentionally absent — swap the workspace `criterion` dependency
+//! back to the registry version to get it.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.to_string(), 20, Duration::from_secs(2), &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-sample element throughput (accepted, unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Caps how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget (accepted; the shim warms up exactly once).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Declared element/byte throughput of one benchmark sample.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per sample.
+    Elements(u64),
+    /// Bytes processed per sample.
+    Bytes(u64),
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the sample or time budget runs out.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // One untimed warm-up run.
+        std::hint::black_box(f());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+fn run_one(label: &str, max_samples: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget,
+        max_samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} time: [no samples]");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<40} time: [{min:?} {mean:?} {max:?}] ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 1);
+    }
+}

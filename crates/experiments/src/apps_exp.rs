@@ -5,7 +5,7 @@ use nuca_workloads::apps::{run_app, studied_apps, AppModel, AppReport, AppRunCon
 use nucasim::{MachineConfig, PreemptionConfig};
 
 use crate::report::{fmt_secs, Report};
-use crate::Scale;
+use crate::{runner, Scale};
 
 pub(crate) fn app_cfg(scale: Scale, kind: LockKind, threads: usize) -> AppRunConfig {
     let per_node = scale.pick(14, 4);
@@ -24,12 +24,20 @@ pub(crate) fn app_cfg(scale: Scale, kind: LockKind, threads: usize) -> AppRunCon
 }
 
 fn run_all(scale: Scale, threads: usize) -> Vec<(AppModel, Vec<AppReport>)> {
-    studied_apps()
-        .into_iter()
+    // Full app × lock grid as independent jobs, regrouped per app in
+    // fixed grid order.
+    let apps = studied_apps();
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| LockKind::ALL.iter().map(|&kind| (app.clone(), kind)))
+        .map(|(app, kind)| move || run_app(&app, &app_cfg(scale, kind, threads)))
+        .collect();
+    let mut results = runner::run_jobs(jobs).into_iter();
+    apps.into_iter()
         .map(|app| {
             let runs = LockKind::ALL
                 .iter()
-                .map(|&kind| run_app(&app, &app_cfg(scale, kind, threads)))
+                .map(|_| results.next().expect("one result per grid cell"))
                 .collect();
             (app, runs)
         })
@@ -90,16 +98,27 @@ pub fn run_fig6(scale: Scale) -> Report {
         "Normalized speedup for 28-processor runs (TATAS_EXP = 1.0)",
         &cols,
     );
-    for app in studied_apps() {
-        // One sequential baseline per app (lock algorithm is irrelevant
-        // with a single thread; use TATAS_EXP like the paper's baseline).
-        let seq = run_app(&app, &app_cfg(scale, LockKind::TatasExp, 1));
-        let speedups: Vec<f64> = kinds
+    // Per app: one sequential baseline (lock algorithm is irrelevant with
+    // a single thread; use TATAS_EXP like the paper's baseline) plus the
+    // five plotted locks — flattened into one job grid.
+    let apps = studied_apps();
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            let mut cells = vec![(app.clone(), LockKind::TatasExp, 1)];
+            cells.extend(kinds.iter().map(|&kind| (app.clone(), kind, threads)));
+            cells
+        })
+        .map(|(app, kind, th)| move || run_app(&app, &app_cfg(scale, kind, th)))
+        .collect();
+    let results = runner::run_jobs(jobs);
+    let stride = 1 + kinds.len();
+    for (ai, app) in apps.iter().enumerate() {
+        let chunk = &results[ai * stride..(ai + 1) * stride];
+        let seq = &chunk[0];
+        let speedups: Vec<f64> = chunk[1..]
             .iter()
-            .map(|&kind| {
-                let par = run_app(&app, &app_cfg(scale, kind, threads));
-                seq.seconds / par.seconds
-            })
+            .map(|par| seq.seconds / par.seconds)
             .collect();
         let base = speedups[1]; // TATAS_EXP
         let mut row = vec![app.name.to_owned()];

@@ -6,7 +6,7 @@ use nuca_workloads::modern::{run_modern, ModernConfig};
 use nucasim::MachineConfig;
 
 use crate::report::Report;
-use crate::Scale;
+use crate::{runner, Scale};
 
 fn base_config(scale: Scale, kind: LockKind) -> ModernConfig {
     let (per_node, iters) = scale.pick((13, 40), (4, 20));
@@ -32,15 +32,26 @@ pub fn run(scale: Scale) -> Report {
         &header_refs,
     );
 
+    // Jobs: [reference HBO_GT] + one per swept limit; normalization
+    // happens at assembly against the shared reference run.
+    let mut jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![Box::new(move || {
+        run_modern(&base_config(scale, LockKind::HboGt)).ns_per_iteration
+    })];
+    for &limit in &limits {
+        jobs.push(Box::new(move || {
+            let mut cfg = base_config(scale, LockKind::HboGtSd);
+            cfg.params = cfg.params.with_get_angry_limit(limit);
+            run_modern(&cfg).ns_per_iteration
+        }));
+    }
+    let results = runner::run_jobs(jobs);
+
     // Reference: plain HBO_GT (no starvation detection).
-    let reference = run_modern(&base_config(scale, LockKind::HboGt)).ns_per_iteration;
+    let reference = results[0];
 
     let mut sd_row = vec!["HBO_GT_SD".to_owned()];
-    for &limit in &limits {
-        let mut cfg = base_config(scale, LockKind::HboGtSd);
-        cfg.params = cfg.params.with_get_angry_limit(limit);
-        let r = run_modern(&cfg);
-        sd_row.push(format!("{:.2}", r.ns_per_iteration / reference));
+    for ns in &results[1..] {
+        sd_row.push(format!("{:.2}", ns / reference));
     }
     report.push_row(sd_row);
 

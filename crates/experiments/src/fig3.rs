@@ -7,10 +7,16 @@ use nuca_workloads::traditional::{run_traditional, TraditionalConfig};
 use nucasim::MachineConfig;
 
 use crate::report::{fmt_ratio, Report};
-use crate::Scale;
+use crate::{runner, Scale};
 
 /// Runs the processor-count sweep for all eight locks; returns the two
 /// panels as separate reports.
+///
+/// The sweep is a grid of independent simulations (lock kind × processor
+/// count); each grid point is one self-contained job handed to
+/// [`runner::run_jobs`] and the rows are assembled from the results in
+/// fixed grid order, so the reports are identical however many threads ran
+/// the jobs.
 pub fn run(scale: Scale) -> Vec<Report> {
     let (max_per_node, iters, step) = scale.pick((14, 50, 2), (4, 15, 2));
     let proc_counts: Vec<usize> = (2..=2 * max_per_node).step_by(step).collect();
@@ -26,17 +32,27 @@ pub fn run(scale: Scale) -> Vec<Report> {
         &header(&proc_counts),
     );
 
-    for kind in LockKind::ALL {
+    let jobs: Vec<_> = LockKind::ALL
+        .iter()
+        .flat_map(|&kind| proc_counts.iter().map(move |&p| (kind, p)))
+        .map(|(kind, p)| {
+            move || {
+                run_traditional(&TraditionalConfig {
+                    kind,
+                    machine: MachineConfig::wildfire(2, max_per_node),
+                    threads: p,
+                    iterations: iters,
+                    ..TraditionalConfig::default()
+                })
+            }
+        })
+        .collect();
+    let results = runner::run_jobs(jobs);
+
+    for (ki, kind) in LockKind::ALL.iter().enumerate() {
         let mut trow = vec![kind.as_str().to_owned()];
         let mut hrow = vec![kind.as_str().to_owned()];
-        for &p in &proc_counts {
-            let r = run_traditional(&TraditionalConfig {
-                kind,
-                machine: MachineConfig::wildfire(2, max_per_node),
-                threads: p,
-                iterations: iters,
-                ..TraditionalConfig::default()
-            });
+        for r in &results[ki * proc_counts.len()..(ki + 1) * proc_counts.len()] {
             trow.push(format!("{:.0}", r.ns_per_iteration));
             hrow.push(fmt_ratio(r.handoff_ratio));
         }

@@ -8,7 +8,7 @@ use nuca_workloads::MicroReport;
 use nucasim::MachineConfig;
 
 use crate::report::{fmt_ratio, Report};
-use crate::Scale;
+use crate::{runner, Scale};
 
 fn config(scale: Scale, kind: LockKind, critical_work: u32) -> ModernConfig {
     let (per_node, iters) = scale.pick((14, 60), (4, 20));
@@ -50,18 +50,37 @@ pub fn run(scale: Scale) -> Vec<Report> {
         &header_refs,
     );
 
-    for kind in LockKind::ALL {
+    // One job per (kind, critical_work) grid cell, reassembled in grid
+    // order; TATAS cells beyond cw=1300 stay `None` and render as "-".
+    let jobs: Vec<_> = LockKind::ALL
+        .iter()
+        .flat_map(|&kind| cws.iter().map(move |&cw| (kind, cw)))
+        .map(|(kind, cw)| {
+            move || {
+                if kind == LockKind::Tatas && cw > 1300 {
+                    None
+                } else {
+                    Some(run_modern(&config(scale, kind, cw)))
+                }
+            }
+        })
+        .collect();
+    let results = runner::run_jobs(jobs);
+
+    for (ki, kind) in LockKind::ALL.iter().enumerate() {
         let mut trow = vec![kind.as_str().to_owned()];
         let mut hrow = vec![kind.as_str().to_owned()];
-        for &cw in &cws {
-            if kind == LockKind::Tatas && cw > 1300 {
-                trow.push("-".to_owned());
-                hrow.push("-".to_owned());
-                continue;
+        for r in &results[ki * cws.len()..(ki + 1) * cws.len()] {
+            match r {
+                Some(r) => {
+                    trow.push(format!("{:.0}", r.ns_per_iteration));
+                    hrow.push(fmt_ratio(r.handoff_ratio));
+                }
+                None => {
+                    trow.push("-".to_owned());
+                    hrow.push("-".to_owned());
+                }
             }
-            let r = run_modern(&config(scale, kind, cw));
-            trow.push(format!("{:.0}", r.ns_per_iteration));
-            hrow.push(fmt_ratio(r.handoff_ratio));
         }
         time.push_row(trow);
         handoff.push_row(hrow);
@@ -77,18 +96,23 @@ pub fn run(scale: Scale) -> Vec<Report> {
 /// normalized to TATAS_EXP.
 pub fn run_table2(scale: Scale) -> Report {
     let cw = 1500;
-    let baseline = run_modern(&config(scale, LockKind::TatasExp, cw));
+    let results: Vec<MicroReport> = runner::run_jobs(
+        LockKind::ALL
+            .iter()
+            .map(|&kind| move || run_modern(&config(scale, kind, cw)))
+            .collect(),
+    );
+    let baseline_idx = LockKind::ALL
+        .iter()
+        .position(|&k| k == LockKind::TatasExp)
+        .expect("TATAS_EXP is in LockKind::ALL");
+    let baseline = &results[baseline_idx];
     let mut report = Report::new(
         "table2",
         "Normalized local and global traffic, new microbenchmark (critical_work=1500)",
         &["Lock Type", "Local Transactions", "Global Transactions"],
     );
-    for kind in LockKind::ALL {
-        let r: MicroReport = if kind == LockKind::TatasExp {
-            baseline.clone()
-        } else {
-            run_modern(&config(scale, kind, cw))
-        };
+    for (kind, r) in LockKind::ALL.iter().zip(&results) {
         report.push_row(vec![
             kind.as_str().to_owned(),
             format!("{:.2}", r.traffic.local as f64 / baseline.traffic.local as f64),

@@ -6,7 +6,7 @@ use nuca_workloads::modern::{run_modern, ModernConfig};
 use nucasim::MachineConfig;
 
 use crate::report::Report;
-use crate::Scale;
+use crate::{runner, Scale};
 
 /// Runs the fairness study for all eight locks.
 pub fn run(scale: Scale) -> Report {
@@ -16,15 +16,24 @@ pub fn run(scale: Scale) -> Report {
         "Fairness: completion-time difference between first and last thread (%)",
         &["Lock Type", "Spread %"],
     );
-    for kind in LockKind::ALL {
-        let r = run_modern(&ModernConfig {
-            kind,
-            machine: MachineConfig::wildfire(2, per_node),
-            threads: per_node * 2,
-            iterations: iters,
-            critical_work: 700,
-            ..ModernConfig::default()
-        });
+    let results = runner::run_jobs(
+        LockKind::ALL
+            .iter()
+            .map(|&kind| {
+                move || {
+                    run_modern(&ModernConfig {
+                        kind,
+                        machine: MachineConfig::wildfire(2, per_node),
+                        threads: per_node * 2,
+                        iterations: iters,
+                        critical_work: 700,
+                        ..ModernConfig::default()
+                    })
+                }
+            })
+            .collect(),
+    );
+    for (kind, r) in LockKind::ALL.iter().zip(&results) {
         let spread = r.finish_spread.unwrap_or(f64::NAN) * 100.0;
         report.push_row(vec![kind.as_str().to_owned(), format!("{spread:.1}")]);
     }

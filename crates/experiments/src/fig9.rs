@@ -8,7 +8,7 @@ use nucasim::MachineConfig;
 use nucasim_locks::SimLockParams;
 
 use crate::report::Report;
-use crate::Scale;
+use crate::{runner, Scale};
 
 fn base_config(scale: Scale, kind: LockKind) -> ModernConfig {
     let (per_node, iters) = scale.pick((13, 40), (4, 20));
@@ -38,20 +38,35 @@ pub fn run(scale: Scale) -> Report {
         &header_refs,
     );
 
+    // Jobs: [reference HBO_GT_SD at default cap] + one per swept cap +
+    // [MCS comparison]; normalization happens at assembly so every cell
+    // divides by the same reference run.
+    let mut jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![Box::new(move || {
+        run_modern(&base_config(scale, LockKind::HboGtSd)).ns_per_iteration
+    })];
+    for &cap in &caps {
+        jobs.push(Box::new(move || {
+            let mut cfg = base_config(scale, LockKind::HboGtSd);
+            cfg.params = cfg.params.with_remote_cap(cap);
+            run_modern(&cfg).ns_per_iteration
+        }));
+    }
+    jobs.push(Box::new(move || {
+        run_modern(&base_config(scale, LockKind::Mcs)).ns_per_iteration
+    }));
+    let results = runner::run_jobs(jobs);
+
     // Reference point: HBO_GT_SD at its default cap.
-    let reference = run_modern(&base_config(scale, LockKind::HboGtSd)).ns_per_iteration;
+    let reference = results[0];
 
     let mut sd_row = vec!["HBO_GT_SD".to_owned()];
-    for &cap in &caps {
-        let mut cfg = base_config(scale, LockKind::HboGtSd);
-        cfg.params = cfg.params.with_remote_cap(cap);
-        let r = run_modern(&cfg);
-        sd_row.push(format!("{:.2}", r.ns_per_iteration / reference));
+    for ns in &results[1..=caps.len()] {
+        sd_row.push(format!("{:.2}", ns / reference));
     }
     report.push_row(sd_row);
 
     // MCS comparison line (cap-independent — one value repeated).
-    let mcs = run_modern(&base_config(scale, LockKind::Mcs)).ns_per_iteration;
+    let mcs = results[caps.len() + 1];
     let mut mcs_row = vec!["MCS".to_owned()];
     for _ in &caps {
         mcs_row.push(format!("{:.2}", mcs / reference));

@@ -30,6 +30,7 @@ pub mod hier_exp;
 pub mod nuca_ratio;
 pub mod raytrace_exp;
 pub mod report;
+pub mod runner;
 pub mod table1;
 pub mod table3;
 pub mod ticket_exp;
@@ -67,9 +68,10 @@ impl fmt::Display for UnknownExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown experiment `{}` (valid: {})",
+            "unknown experiment `{}` (valid: {}, {}, all)",
             self.0,
-            EXPERIMENTS.join(", ")
+            EXPERIMENTS.join(", "),
+            EXTENSIONS.join(", ")
         )
     }
 }
@@ -110,9 +112,17 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "colloc" => Ok(vec![colloc::run(scale)]),
         "ticket" => Ok(vec![ticket_exp::run(scale)]),
         "all" => {
+            // Fan the artifacts out across orchestration threads (their
+            // leaf sim jobs share the global --jobs budget) and flatten
+            // the reports in the fixed id order.
+            let tasks: Vec<_> = EXPERIMENTS
+                .iter()
+                .chain(EXTENSIONS.iter())
+                .map(|&id| move || run_experiment(id, scale))
+                .collect();
             let mut out = Vec::new();
-            for id in EXPERIMENTS.iter().chain(EXTENSIONS.iter()) {
-                out.extend(run_experiment(id, scale)?);
+            for reports in runner::run_fanout(tasks) {
+                out.extend(reports.expect("every fanned-out id is a known artifact"));
             }
             Ok(out)
         }

@@ -2,21 +2,28 @@
 //!
 //! ```bash
 //! experiments all                # every artifact, paper scale
-//! experiments fig5 table2        # selected artifacts
-//! experiments all --fast         # smoke-test scale
-//! experiments --list             # artifact inventory
+//! experiments fig5 table2       # selected artifacts
+//! experiments all --fast        # smoke-test scale
+//! experiments all --jobs 4      # bound parallel simulation jobs
+//! experiments all --bench-json BENCH_harness.json
+//! experiments --list            # artifact inventory
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use nuca_experiments::{run_experiment, Scale, EXPERIMENTS, EXTENSIONS};
+use nuca_experiments::{run_experiment, runner, Report, Scale, EXPERIMENTS, EXTENSIONS};
+use nuca_experiments::UnknownExperiment;
+
+const USAGE: &str =
+    "usage: experiments [--fast] [--out DIR] [--jobs N] [--bench-json PATH] <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("target/experiments");
+    let mut bench_json: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -30,6 +37,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => runner::set_max_jobs(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-json" => match iter.next() {
+                Some(path) => bench_json = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--bench-json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" => {
                 println!("paper artifacts: {}", EXPERIMENTS.join(", "));
                 println!("extensions:      {}", EXTENSIONS.join(", "));
@@ -37,7 +58,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--fast] [--out DIR] <id>... | all | --list");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_owned()),
@@ -47,9 +68,63 @@ fn main() -> ExitCode {
         ids.push("all".to_owned());
     }
 
-    for id in &ids {
-        let started = Instant::now();
-        match run_experiment(id, scale) {
+    // Expand `all` here (rather than deferring to `run_experiment`) so
+    // each artifact gets its own wall-clock entry in the bench log.
+    let ids: Vec<String> = ids
+        .iter()
+        .flat_map(|id| {
+            if id == "all" {
+                EXPERIMENTS
+                    .iter()
+                    .chain(EXTENSIONS.iter())
+                    .map(|&s| s.to_owned())
+                    .collect()
+            } else {
+                vec![id.clone()]
+            }
+        })
+        .collect();
+
+    // Validate every requested id before running anything: a typo at the
+    // end of the list should not cost a full sweep first.
+    let unknown: Vec<&str> = ids
+        .iter()
+        .map(String::as_str)
+        .filter(|id| {
+            !EXPERIMENTS.contains(id) && !EXTENSIONS.contains(id)
+        })
+        .collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("{}", UnknownExperiment(id.to_owned()));
+        }
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let harness_started = Instant::now();
+    let events_before = nucasim::sim_events_total();
+
+    // One orchestration task per artifact; leaf simulation jobs inside
+    // each artifact share the global --jobs budget. Results come back in
+    // request order, so rendering and TSV writes stay deterministic.
+    type ArtifactRun = (Duration, Result<Vec<Report>, UnknownExperiment>);
+    let tasks: Vec<_> = ids
+        .iter()
+        .map(|id| {
+            let id = id.clone();
+            move || -> ArtifactRun {
+                let started = Instant::now();
+                let result = run_experiment(&id, scale);
+                (started.elapsed(), result)
+            }
+        })
+        .collect();
+    let results = runner::run_fanout(tasks);
+
+    let mut artifact_times: Vec<(String, Duration)> = Vec::new();
+    for (id, (elapsed, result)) in ids.iter().zip(results) {
+        match result {
             Ok(reports) => {
                 for report in reports {
                     println!("{}", report.render());
@@ -58,7 +133,8 @@ fn main() -> ExitCode {
                         Err(err) => eprintln!("could not write TSV: {err}"),
                     }
                 }
-                eprintln!("[{id} done in {:.1?}]", started.elapsed());
+                eprintln!("[{id} done in {elapsed:.1?}]");
+                artifact_times.push((id.clone(), elapsed));
             }
             Err(err) => {
                 eprintln!("{err}");
@@ -66,5 +142,54 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    let total = harness_started.elapsed();
+    let events = nucasim::sim_events_total() - events_before;
+    if let Some(path) = bench_json {
+        let json = bench_report(scale, &artifact_times, total, events);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("could not write bench JSON {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Renders the perf-regression baseline: per-artifact wall-clock plus the
+/// harness-wide simulated-event throughput.
+fn bench_report(
+    scale: Scale,
+    artifact_times: &[(String, Duration)],
+    total: Duration,
+    events: u64,
+) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        scale.pick("full", "fast")
+    ));
+    json.push_str(&format!("  \"jobs\": {},\n", runner::max_jobs()));
+    json.push_str("  \"artifacts\": [\n");
+    for (i, (id, elapsed)) in artifact_times.iter().enumerate() {
+        let comma = if i + 1 < artifact_times.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"wall_ms\": {:.1}}}{comma}\n",
+            elapsed.as_secs_f64() * 1e3
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total_wall_ms\": {:.1},\n",
+        total.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!("  \"sim_events\": {events},\n"));
+    json.push_str(&format!(
+        "  \"sim_events_per_sec\": {:.0}\n",
+        events as f64 / total.as_secs_f64().max(1e-9)
+    ));
+    json.push_str("}\n");
+    json
 }

@@ -11,7 +11,7 @@ use nuca_workloads::modern::{run_modern, ModernConfig};
 use nucasim::{LatencyModel, MachineConfig};
 
 use crate::report::Report;
-use crate::Scale;
+use crate::{runner, Scale};
 
 /// Runs the NUCA-ratio ablation.
 pub fn run(scale: Scale) -> Report {
@@ -34,22 +34,31 @@ pub fn run(scale: Scale) -> Report {
             "TATAS_EXP / HBO_GT",
         ],
     );
-    for (name, latency) in presets {
-        let make = |kind| {
-            run_modern(&ModernConfig {
-                kind,
-                machine: MachineConfig::wildfire(2, per_node).with_latency(latency),
-                threads: per_node * 2,
-                iterations: iters,
-                critical_work: 1000,
-                ..ModernConfig::default()
-            })
+    // One job per preset × lock cell, regrouped per preset at assembly.
+    let kinds = [LockKind::HboGt, LockKind::Mcs, LockKind::TatasExp];
+    let jobs: Vec<_> = presets
+        .iter()
+        .flat_map(|&(_, latency)| kinds.iter().map(move |&kind| (latency, kind)))
+        .map(|(latency, kind)| {
+            move || {
+                run_modern(&ModernConfig {
+                    kind,
+                    machine: MachineConfig::wildfire(2, per_node).with_latency(latency),
+                    threads: per_node * 2,
+                    iterations: iters,
+                    critical_work: 1000,
+                    ..ModernConfig::default()
+                })
+            }
+        })
+        .collect();
+    let results = runner::run_jobs(jobs);
+    for (pi, (name, latency)) in presets.iter().enumerate() {
+        let [hbo, mcs, exp] = &results[pi * kinds.len()..(pi + 1) * kinds.len()] else {
+            unreachable!("three runs per preset");
         };
-        let hbo = make(LockKind::HboGt);
-        let mcs = make(LockKind::Mcs);
-        let exp = make(LockKind::TatasExp);
         report.push_row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             format!("{:.1}", latency.nuca_ratio()),
             format!("{:.0}", hbo.ns_per_iteration),
             format!("{:.2}", mcs.ns_per_iteration / hbo.ns_per_iteration),

@@ -4,12 +4,12 @@
 
 use hbo_locks::LockKind;
 use nuca_topology::Topology;
-use nuca_workloads::apps::{app_by_name, run_app, AppRunConfig};
+use nuca_workloads::apps::{app_by_name, run_app, AppReport, AppRunConfig};
 use nucasim::{MachineConfig, PreemptionConfig};
 
 use crate::apps_exp::app_cfg;
 use crate::report::{fmt_secs, Report};
-use crate::Scale;
+use crate::{runner, Scale};
 
 /// The paper's 30-processor machine: the 16 + 14 WildFire prototype, with
 /// daemon preemption enabled (a fully populated machine leaves the OS
@@ -46,16 +46,30 @@ pub fn run_table4(scale: Scale) -> Report {
     // Budget for the preempted runs: generous, but finite — queue locks
     // that exceed it print as "> N s", the paper's "> 200 s" rows.
     let budget = scale.pick(12_500_000_000u64, 1_500_000_000u64);
+    // Three independent runs per lock (1p, 28p, 30p-preempted), flattened
+    // into one job list and read back per lock in fixed order.
+    let mut jobs: Vec<Box<dyn FnOnce() -> AppReport + Send>> = Vec::new();
     for kind in LockKind::ALL {
-        let one = run_app(&ray, &app_cfg(scale, kind, 1));
-        let twenty_eight = run_app(&ray, &app_cfg(scale, kind, 28));
-        let mut cfg30 = AppRunConfig {
-            machine: prototype_30p(scale),
-            cycle_limit: budget,
-            ..app_cfg(scale, kind, 28)
+        let ray1 = ray.clone();
+        jobs.push(Box::new(move || run_app(&ray1, &app_cfg(scale, kind, 1))));
+        let ray28 = ray.clone();
+        jobs.push(Box::new(move || run_app(&ray28, &app_cfg(scale, kind, 28))));
+        let ray30 = ray.clone();
+        jobs.push(Box::new(move || {
+            let mut cfg30 = AppRunConfig {
+                machine: prototype_30p(scale),
+                cycle_limit: budget,
+                ..app_cfg(scale, kind, 28)
+            };
+            cfg30.threads = cfg30.machine.topology.num_cpus();
+            run_app(&ray30, &cfg30)
+        }));
+    }
+    let results = runner::run_jobs(jobs);
+    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+        let [one, twenty_eight, thirty] = &results[ki * 3..ki * 3 + 3] else {
+            unreachable!("three runs per lock kind");
         };
-        cfg30.threads = cfg30.machine.topology.num_cpus();
-        let thirty = run_app(&ray, &cfg30);
         report.push_row(vec![
             kind.as_str().to_owned(),
             fmt_secs(one.seconds, one.finished),
@@ -79,11 +93,28 @@ pub fn run_fig7(scale: Scale) -> Report {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut report = Report::new("fig7", "Speedup for Raytrace", &header_refs);
 
-    for kind in LockKind::ALL {
-        let seq = run_app(&ray, &app_cfg(scale, kind, 1));
+    // Per lock: the sequential baseline plus each swept processor count
+    // (the p=1 sweep point reruns the baseline config, as the serial code
+    // did, keeping the output byte-identical).
+    let jobs: Vec<_> = LockKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            let mut cells = vec![(kind, 1usize)];
+            cells.extend(counts.iter().map(|&p| (kind, p)));
+            cells
+        })
+        .map(|(kind, p)| {
+            let ray = ray.clone();
+            move || run_app(&ray, &app_cfg(scale, kind, p))
+        })
+        .collect();
+    let results = runner::run_jobs(jobs);
+    let stride = 1 + counts.len();
+    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+        let chunk = &results[ki * stride..(ki + 1) * stride];
+        let seq = &chunk[0];
         let mut row = vec![kind.as_str().to_owned()];
-        for &p in &counts {
-            let r = run_app(&ray, &app_cfg(scale, kind, p));
+        for r in &chunk[1..] {
             if r.finished {
                 row.push(format!("{:.2}", seq.seconds / r.seconds));
             } else {

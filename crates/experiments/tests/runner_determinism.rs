@@ -1,0 +1,37 @@
+//! Regression test for the parallel runner's core guarantee: the TSV
+//! bytes of an artifact are identical whether its simulation jobs ran
+//! serially or on several threads.
+
+use std::sync::Mutex;
+
+use nuca_experiments::{run_experiment, runner, Scale};
+
+/// Serializes the tests in this file: they reconfigure the process-global
+/// job budget.
+static BUDGET_LOCK: Mutex<()> = Mutex::new(());
+
+/// Renders every report of `id` at fast scale under the given job budget.
+fn tsv_bytes(id: &str, jobs: usize) -> Vec<String> {
+    runner::set_max_jobs(jobs);
+    let reports = run_experiment(id, Scale::Fast).expect("known artifact");
+    runner::set_max_jobs(0);
+    reports.iter().map(|r| r.to_tsv()).collect()
+}
+
+#[test]
+fn fig3_tsv_identical_serial_vs_parallel() {
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(tsv_bytes("fig3", 1), tsv_bytes("fig3", 2));
+}
+
+#[test]
+fn fig5_tsv_identical_serial_vs_parallel() {
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(tsv_bytes("fig5", 1), tsv_bytes("fig5", 2));
+}
+
+#[test]
+fn table2_tsv_identical_serial_vs_parallel() {
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(tsv_bytes("table2", 1), tsv_bytes("table2", 4));
+}

@@ -31,8 +31,30 @@ impl fmt::Debug for CpuSlot {
     }
 }
 
-/// Outcome of a [`Machine::run`]: timing, statistics and final memory
+/// Outcome of one [`Machine::run`] call: how far simulated time advanced
+/// and whether every program finished. Cheap to copy; ask the machine for
+/// an [`Machine::into_report`] when the full statistics are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStatus {
+    /// Simulated time when the run stopped (cycles).
+    pub end_time: u64,
+    /// Whether every program reached `Done` before the limit.
+    pub finished_all: bool,
+}
+
+impl RunStatus {
+    /// End-to-end time in seconds of simulated execution.
+    pub fn seconds(&self) -> f64 {
+        crate::cycles_to_secs(self.end_time)
+    }
+}
+
+/// Final outcome of a simulation: timing, statistics and final memory
 /// values, decoupled from the machine so it can outlive it.
+///
+/// Produced by [`Machine::into_report`], which *moves* the accumulated
+/// lock traces out of the machine and materializes memory values exactly
+/// once — nothing on this path clones per-run data.
 #[derive(Debug, Clone)]
 pub struct SimReport {
     /// Simulated time when the run stopped (cycles).
@@ -51,6 +73,8 @@ pub struct SimReport {
     pub preemptions: u64,
     /// Transactions served from the requester's own cache.
     pub cache_hits: u64,
+    /// Program-resume events the engine processed.
+    pub events: u64,
 }
 
 impl SimReport {
@@ -107,6 +131,9 @@ pub struct Machine {
     time: u64,
     seq: u64,
     preempt: Option<PreemptState>,
+    /// Recycled buffer for the watchers each write wakes (engine-owned so
+    /// the hot path never allocates).
+    woken_buf: Vec<(CpuId, u64, u64)>,
 }
 
 impl Machine {
@@ -133,6 +160,7 @@ impl Machine {
             time: 0,
             seq: 0,
             preempt,
+            woken_buf: Vec::new(),
         }
     }
 
@@ -177,9 +205,9 @@ impl Machine {
         self.heap.push(Reverse((t, self.seq, cpu)));
     }
 
-    /// Schedules a resume at `t`, sliding past preemption windows.
-    fn schedule_resume(&mut self, cpu: usize, t: u64, value: Option<u64>) {
-        let t = if let Some(p) = self.preempt.as_mut() {
+    /// Slides `t` past any preemption window on `cpu`.
+    fn adjust_preempt(&mut self, cpu: usize, t: u64) -> u64 {
+        if let Some(p) = self.preempt.as_mut() {
             let (adj, applied) = p.adjust(cpu, t);
             for _ in 0..applied {
                 self.stats.count_preemption();
@@ -187,96 +215,151 @@ impl Machine {
             adj
         } else {
             t
-        };
+        }
+    }
+
+    /// Schedules a resume at `t`, sliding past preemption windows.
+    fn schedule_resume(&mut self, cpu: usize, t: u64, value: Option<u64>) {
+        let t = self.adjust_preempt(cpu, t);
         self.cpus[cpu].pending = value;
         self.push_event(t, cpu);
     }
 
     /// Runs until every program finishes or `limit` cycles elapse.
-    /// Returns a [`SimReport`]; the machine may be `run` again with a
-    /// larger limit to continue an unfinished simulation.
-    pub fn run(&mut self, limit: u64) -> SimReport {
-        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
-            if t > limit {
+    /// Returns a [`RunStatus`]; the machine may be `run` again with a
+    /// larger limit to continue an unfinished simulation, and
+    /// [`Machine::into_report`] turns the finished machine into a full
+    /// [`SimReport`].
+    pub fn run(&mut self, limit: u64) -> RunStatus {
+        self.run_with(limit, true)
+    }
+
+    /// `run` with the inline-resume fast path switchable, so tests can
+    /// compare against the straightforward heap-everything reference.
+    fn run_with(&mut self, limit: u64, inline_resume: bool) -> RunStatus {
+        let mut events = 0u64;
+        'outer: while let Some(&Reverse((head_t, _, _))) = self.heap.peek() {
+            if head_t > limit {
                 break;
             }
-            let Reverse((t, _, cpu)) = self.heap.pop().expect("peeked");
-            self.time = t;
-            let Some(mut program) = self.cpus[cpu].program.take() else {
-                continue; // stale event for a finished CPU
-            };
-            let last = self.cpus[cpu].pending.take();
-            let command = {
-                let mut ctx = CpuCtx {
-                    cpu: CpuId(cpu),
-                    node: self.topo.node_of(CpuId(cpu)),
-                    now: t,
-                    stats: &mut self.stats,
+            let Reverse((mut t, _, cpu)) = self.heap.pop().expect("peeked");
+            // Inline-resume fast path (classic DES lazy insertion): keep
+            // driving this CPU without a heap round-trip for as long as
+            // its next event *strictly* precedes everything queued. Ties
+            // must go through the heap, where the older sequence number
+            // wins, so event order is exactly the reference order.
+            loop {
+                self.time = t;
+                let Some(mut program) = self.cpus[cpu].program.take() else {
+                    continue 'outer; // stale event for a finished CPU
                 };
-                program.resume(&mut ctx, last)
-            };
-            match command {
-                Command::Done => {
-                    self.cpus[cpu].finished_at = Some(t);
-                    // program dropped
-                    continue;
-                }
-                Command::Delay(d) => {
-                    self.schedule_resume(cpu, t + d.max(1), None);
-                }
-                Command::WaitWhile { addr, equals } => {
-                    match self
-                        .mem
-                        .wait_while(t, CpuId(cpu), addr, equals, &mut self.stats)
-                    {
-                        Some((done, v)) => self.schedule_resume(cpu, done, Some(v)),
-                        None => {
-                            // Parked: a future write wakes this CPU.
+                let last = self.cpus[cpu].pending.take();
+                events += 1;
+                let command = {
+                    let mut ctx = CpuCtx {
+                        cpu: CpuId(cpu),
+                        node: self.topo.node_of(CpuId(cpu)),
+                        now: t,
+                        stats: &mut self.stats,
+                    };
+                    program.resume(&mut ctx, last)
+                };
+                let (next_at, next_value) = match command {
+                    Command::Done => {
+                        self.cpus[cpu].finished_at = Some(t);
+                        // program dropped
+                        continue 'outer;
+                    }
+                    Command::Delay(d) => (t + d.max(1), None),
+                    Command::WaitWhile { addr, equals } => {
+                        match self
+                            .mem
+                            .wait_while(t, CpuId(cpu), addr, equals, &mut self.stats)
+                        {
+                            Some((done, v)) => (done, Some(v)),
+                            None => {
+                                // Parked: a future write wakes this CPU.
+                                self.cpus[cpu].program = Some(program);
+                                continue 'outer;
+                            }
                         }
                     }
-                }
-                mem_cmd => {
-                    let (addr, op) = match mem_cmd {
-                        Command::Read(a) => (a, MemOp::Read),
-                        Command::Write(a, v) => (a, MemOp::Write(v)),
-                        Command::Cas {
-                            addr,
-                            expected,
-                            new,
-                        } => (addr, MemOp::Cas { expected, new }),
-                        Command::Swap { addr, value } => (addr, MemOp::Swap(value)),
-                        Command::Tas(a) => (a, MemOp::Tas),
-                        Command::FetchAdd { addr, delta } => (addr, MemOp::FetchAdd(delta)),
-                        _ => unreachable!("non-memory commands handled above"),
-                    };
-                    let out = self.mem.access(t, CpuId(cpu), addr, op, &mut self.stats);
-                    // Wake any watchers first so their events are ordered.
-                    let woken = out.woken;
-                    for (wcpu, wake_at, wval) in woken {
-                        self.schedule_resume(wcpu.index(), wake_at, Some(wval));
+                    mem_cmd => {
+                        let (addr, op) = match mem_cmd {
+                            Command::Read(a) => (a, MemOp::Read),
+                            Command::Write(a, v) => (a, MemOp::Write(v)),
+                            Command::Cas {
+                                addr,
+                                expected,
+                                new,
+                            } => (addr, MemOp::Cas { expected, new }),
+                            Command::Swap { addr, value } => (addr, MemOp::Swap(value)),
+                            Command::Tas(a) => (a, MemOp::Tas),
+                            Command::FetchAdd { addr, delta } => (addr, MemOp::FetchAdd(delta)),
+                            _ => unreachable!("non-memory commands handled above"),
+                        };
+                        let mut woken = std::mem::take(&mut self.woken_buf);
+                        let out =
+                            self.mem
+                                .access(t, CpuId(cpu), addr, op, &mut self.stats, &mut woken);
+                        // Wake any watchers first so their events are ordered.
+                        for &(wcpu, wake_at, wval) in &woken {
+                            self.schedule_resume(wcpu.index(), wake_at, Some(wval));
+                        }
+                        woken.clear();
+                        self.woken_buf = woken;
+                        (out.complete_at, Some(out.value))
                     }
-                    self.schedule_resume(cpu, out.complete_at, Some(out.value));
+                };
+                self.cpus[cpu].program = Some(program);
+                let adj = self.adjust_preempt(cpu, next_at);
+                if inline_resume
+                    && adj <= limit
+                    && self
+                        .heap
+                        .peek()
+                        .is_none_or(|&Reverse((ht, _, _))| adj < ht)
+                {
+                    // Nothing can run before this CPU's continuation:
+                    // resume it directly.
+                    self.cpus[cpu].pending = next_value;
+                    t = adj;
+                    continue;
                 }
+                self.cpus[cpu].pending = next_value;
+                self.push_event(adj, cpu);
+                continue 'outer;
             }
-            self.cpus[cpu].program = Some(program);
         }
+        self.stats.add_events(events);
+        crate::add_sim_events(events);
 
-        let finish_times: Vec<Option<u64>> = self.cpus.iter().map(|c| c.finished_at).collect();
         // A CPU still holding a program (running or parked) is unfinished;
         // CPUs that never received a program do not count against the run.
+        RunStatus {
+            end_time: self.time,
+            finished_all: self.cpus.iter().all(|c| c.program.is_none()),
+        }
+    }
+
+    /// Consumes the machine, producing the full [`SimReport`].
+    ///
+    /// Lock traces are moved (not cloned) out of the statistics and final
+    /// memory values are materialized once, here — keeping repeated
+    /// [`Machine::run`] continuations free of per-call copying.
+    pub fn into_report(mut self) -> SimReport {
+        let finish_times: Vec<Option<u64>> = self.cpus.iter().map(|c| c.finished_at).collect();
         let finished_all = self.cpus.iter().all(|c| c.program.is_none());
-        let values = (0..self.mem.len())
-            .map(|i| self.mem.peek(Addr(i as u32)))
-            .collect();
         SimReport {
             end_time: self.time,
             finished_all,
             finish_times,
             traffic: self.stats.traffic(),
-            lock_traces: self.stats.lock_traces().to_vec(),
-            values,
+            lock_traces: self.stats.take_locks(),
+            values: self.mem.final_values(),
             preemptions: self.stats.preemptions(),
             cache_hits: self.stats.cache_hits(),
+            events: self.stats.events(),
         }
     }
 }
@@ -343,8 +426,9 @@ mod tests {
                 wrote: false,
             }),
         );
-        let r = m.run(10_000);
-        assert!(r.finished_all);
+        let status = m.run(10_000);
+        assert!(status.finished_all);
+        let r = m.into_report();
         assert_eq!(r.final_value(a), 42);
         assert!(r.finish_times[0].is_some());
         assert!(r.finish_times[1].is_none(), "idle CPU never finishes");
@@ -379,8 +463,9 @@ mod tests {
             }
         }
         m.add_program(CpuId(0), Box::new(DelayedWrite { addr: flag, step: 0 }));
-        let r = m.run(1_000_000);
-        assert!(r.finished_all);
+        let status = m.run(1_000_000);
+        assert!(status.finished_all);
+        let r = m.into_report();
         assert_eq!(r.final_value(obs), 7, "waiter observed the woken value");
         // The waiter finished after the writer's store.
         assert!(r.finish_times[3].unwrap() > 5_000);
@@ -447,8 +532,9 @@ mod tests {
         for cpu in 0..8 {
             m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 100 }));
         }
-        let r = m.run(100_000_000);
-        assert!(r.finished_all);
+        let status = m.run(100_000_000);
+        assert!(status.finished_all);
+        let r = m.into_report();
         assert_eq!(r.final_value(a), 800);
         assert!(r.traffic.global > 0, "cross-node increments cross the wire");
         assert!(r.traffic.local > 0);
@@ -478,10 +564,104 @@ mod tests {
             for cpu in 0..8 {
                 m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 50 }));
             }
-            let r = m.run(100_000_000);
+            m.run(100_000_000);
+            let r = m.into_report();
             (r.end_time, r.traffic)
         }
         assert_eq!(run_once(11), run_once(11));
+    }
+
+    /// The inline-resume fast path must be observationally identical to
+    /// the heap-everything reference on the contended-increment scenario:
+    /// same end time, traffic, finish times, final values, and event count.
+    #[test]
+    fn inline_resume_matches_reference() {
+        fn run_once(inline_resume: bool) -> SimReport {
+            let mut m = Machine::new(MachineConfig::wildfire(2, 4).with_seed(7));
+            let a = m.mem_mut().alloc(NodeId(0));
+            struct Incr {
+                addr: Addr,
+                left: u32,
+            }
+            impl Program for Incr {
+                fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                    if self.left == 0 {
+                        return Command::Done;
+                    }
+                    self.left -= 1;
+                    Command::FetchAdd {
+                        addr: self.addr,
+                        delta: 1,
+                    }
+                }
+            }
+            for cpu in 0..8 {
+                m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 100 }));
+            }
+            let status = m.run_with(100_000_000, inline_resume);
+            assert!(status.finished_all);
+            m.into_report()
+        }
+        let fast = run_once(true);
+        let slow = run_once(false);
+        assert_eq!(fast.end_time, slow.end_time);
+        assert_eq!(fast.traffic, slow.traffic);
+        assert_eq!(fast.finish_times, slow.finish_times);
+        assert_eq!(fast.final_value(Addr(0)), slow.final_value(Addr(0)));
+        assert_eq!(fast.cache_hits, slow.cache_hits);
+        assert_eq!(fast.events, slow.events, "fast path skips no resumes");
+        assert!(fast.events > 0);
+    }
+
+    /// Same check on a scenario that exercises watcher wakes (WaitWhile),
+    /// where event *ordering* between woken CPUs and the writer matters.
+    #[test]
+    fn inline_resume_matches_reference_with_waiters() {
+        fn run_once(inline_resume: bool) -> SimReport {
+            let mut m = Machine::new(MachineConfig::wildfire(2, 2));
+            let flag = m.mem_mut().alloc(NodeId(0));
+            let obs = m.mem_mut().alloc(NodeId(1));
+            m.add_program(
+                CpuId(3),
+                Box::new(Waiter {
+                    addr: flag,
+                    observed: obs,
+                    state: 0,
+                }),
+            );
+            m.add_program(
+                CpuId(2),
+                Box::new(Waiter {
+                    addr: flag,
+                    observed: obs,
+                    state: 0,
+                }),
+            );
+            struct DelayedWrite {
+                addr: Addr,
+                step: u8,
+            }
+            impl Program for DelayedWrite {
+                fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                    self.step += 1;
+                    match self.step {
+                        1 => Command::Delay(5_000),
+                        2 => Command::Write(self.addr, 7),
+                        _ => Command::Done,
+                    }
+                }
+            }
+            m.add_program(CpuId(0), Box::new(DelayedWrite { addr: flag, step: 0 }));
+            let status = m.run_with(1_000_000, inline_resume);
+            assert!(status.finished_all);
+            m.into_report()
+        }
+        let fast = run_once(true);
+        let slow = run_once(false);
+        assert_eq!(fast.end_time, slow.end_time);
+        assert_eq!(fast.traffic, slow.traffic);
+        assert_eq!(fast.finish_times, slow.finish_times);
+        assert_eq!(fast.events, slow.events);
     }
 
     #[test]
@@ -508,9 +688,9 @@ mod tests {
                 }
             }
             m.add_program(CpuId(0), Box::new(Delays { left: 100 }));
-            let r = m.run(u64::MAX / 2);
-            assert!(r.finished_all);
-            r.end_time
+            let status = m.run(u64::MAX / 2);
+            assert!(status.finished_all);
+            status.end_time
         }
         assert!(run_once(true) > 2 * run_once(false));
     }
@@ -526,6 +706,7 @@ mod tests {
             values: Vec::new(),
             preemptions: 0,
             cache_hits: 0,
+            events: 0,
         };
         assert_eq!(r.finish_spread(), Some(0.2));
         assert_eq!(r.last_finish(), Some(100));

@@ -55,8 +55,9 @@
 //! for cpu in machine.topology().cpus() {
 //!     machine.add_program(cpu, Box::new(Incr { addr: counter, left: 10 }));
 //! }
-//! let report = machine.run(1_000_000);
-//! assert!(report.finished_all);
+//! let status = machine.run(1_000_000);
+//! assert!(status.finished_all);
+//! let report = machine.into_report();
 //! assert_eq!(report.final_value(counter), 40);
 //! ```
 
@@ -72,7 +73,7 @@ mod rng;
 mod stats;
 
 pub use config::{LatencyModel, MachineConfig};
-pub use engine::{Machine, SimReport};
+pub use engine::{Machine, RunStatus, SimReport};
 pub use mem::{Addr, MemOp, MemorySystem};
 pub use preempt::PreemptionConfig;
 pub use program::{Command, CpuCtx, Program};
@@ -97,4 +98,21 @@ pub fn cycles_to_ns(cycles: u64) -> u64 {
 /// Converts simulated cycles to seconds.
 pub fn cycles_to_secs(cycles: u64) -> f64 {
     cycles as f64 / CYCLES_PER_SECOND as f64
+}
+
+/// Process-wide count of program-resume events simulated, across all
+/// machines (monotone; never reset).
+static SIM_EVENTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Flushes one run's event count into [`sim_events_total`].
+pub(crate) fn add_sim_events(n: u64) {
+    SIM_EVENTS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Total program-resume events simulated by this process so far, across
+/// all machines and threads. Sampling it before and after a workload gives
+/// a simulated-events throughput figure (the experiment harness reports
+/// events/sec from exactly this counter).
+pub fn sim_events_total() -> u64 {
+    SIM_EVENTS.load(std::sync::atomic::Ordering::Relaxed)
 }

@@ -120,7 +120,7 @@ struct Line {
     busy_until: u64,
     /// CPUs sleeping until this line's value changes, with the value they
     /// are waiting to see change.
-    watchers: Vec<Watcher>,
+    watchers: WatcherList,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -130,14 +130,102 @@ struct Watcher {
     equals: u64,
 }
 
-/// A completed access: when it finishes, what it returned, and which
-/// watchers it woke.
+impl Watcher {
+    /// Placeholder filling unused inline slots.
+    const NULL: Watcher = Watcher {
+        cpu: CpuId(0),
+        equals: 0,
+    };
+}
+
+/// Number of watchers a line stores without heap allocation. Most lines
+/// have zero or a handful of spinners at any instant; only a heavily
+/// contended lock word spills.
+const INLINE_WATCHERS: usize = 4;
+
+/// Small-vector of [`Watcher`]s: up to [`INLINE_WATCHERS`] entries live
+/// inline in the [`Line`]; beyond that the list spills to a `Vec` and stays
+/// spilled (retaining its capacity across wake bursts).
 #[derive(Debug)]
+enum WatcherList {
+    Inline {
+        len: u8,
+        buf: [Watcher; INLINE_WATCHERS],
+    },
+    Spilled(Vec<Watcher>),
+}
+
+impl WatcherList {
+    const EMPTY: WatcherList = WatcherList::Inline {
+        len: 0,
+        buf: [Watcher::NULL; INLINE_WATCHERS],
+    };
+
+    fn len(&self) -> usize {
+        match self {
+            WatcherList::Inline { len, .. } => usize::from(*len),
+            WatcherList::Spilled(v) => v.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, w: Watcher) {
+        match self {
+            WatcherList::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < INLINE_WATCHERS {
+                    buf[n] = w;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_WATCHERS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(w);
+                    *self = WatcherList::Spilled(v);
+                }
+            }
+            WatcherList::Spilled(v) => v.push(w),
+        }
+    }
+
+    fn as_slice(&self) -> &[Watcher] {
+        match self {
+            WatcherList::Inline { len, buf } => &buf[..usize::from(*len)],
+            WatcherList::Spilled(v) => v,
+        }
+    }
+
+    fn set(&mut self, i: usize, w: Watcher) {
+        match self {
+            WatcherList::Inline { len, buf } => {
+                debug_assert!(i < usize::from(*len));
+                buf[i] = w;
+            }
+            WatcherList::Spilled(v) => v[i] = w,
+        }
+    }
+
+    fn truncate(&mut self, n: usize) {
+        match self {
+            WatcherList::Inline { len, .. } => *len = (*len).min(n as u8),
+            WatcherList::Spilled(v) => v.truncate(n),
+        }
+    }
+
+    fn take(&mut self) -> WatcherList {
+        std::mem::replace(self, WatcherList::EMPTY)
+    }
+}
+
+/// A completed access: when it finishes and what it returned. Watchers it
+/// woke are appended to the caller-provided buffer instead (so the hot
+/// write path allocates nothing).
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct AccessOutcome {
     pub complete_at: u64,
     pub value: u64,
-    /// `(cpu, wake_time, observed_value)` for each woken watcher.
-    pub woken: Vec<(CpuId, u64, u64)>,
 }
 
 /// The simulated memory: allocation, coherence state, and access costing.
@@ -153,6 +241,10 @@ pub struct MemorySystem {
     /// Inter-node link occupancy horizon (one shared resource, matching
     /// the WildFire's single interface).
     link_until: u64,
+    /// Recycled wake buffer for the internal reads issued by
+    /// [`MemorySystem::wait_while`] (reads never wake watchers, so it
+    /// always comes back empty).
+    read_scratch: Vec<(CpuId, u64, u64)>,
 }
 
 impl MemorySystem {
@@ -164,6 +256,7 @@ impl MemorySystem {
             lines: Vec::new(),
             bus_until: vec![0; nodes],
             link_until: 0,
+            read_scratch: Vec::new(),
         }
     }
 
@@ -184,7 +277,7 @@ impl MemorySystem {
             owner: None,
             sharers: 0,
             busy_until: 0,
-            watchers: Vec::new(),
+            watchers: WatcherList::EMPTY,
         });
         addr
     }
@@ -262,7 +355,10 @@ impl MemorySystem {
     /// The value effect is applied immediately (transactions on one line
     /// are serialized by the event order, which is also the coherence
     /// order); the returned completion time reflects latency and line
-    /// occupancy. Traffic is recorded into `stats`.
+    /// occupancy. Traffic is recorded into `stats`. `woken` is cleared and
+    /// then filled with `(cpu, wake_time, observed_value)` for each watcher
+    /// this access woke — a caller-owned buffer so the per-write wake
+    /// burst never allocates.
     pub(crate) fn access(
         &mut self,
         now: u64,
@@ -270,7 +366,9 @@ impl MemorySystem {
         addr: Addr,
         op: MemOp,
         stats: &mut SimStats,
+        woken: &mut Vec<(CpuId, u64, u64)>,
     ) -> AccessOutcome {
+        woken.clear();
         let my_node = self.topo.node_of(cpu);
         let lat = self.latency;
 
@@ -408,15 +506,17 @@ impl MemorySystem {
 
         // Phase 4: wake watchers whose condition now holds. Each wake is a
         // refill — an invalidate-then-refetch transaction from the new
-        // owner — and refills serialize on the line's occupancy.
-        let mut woken = Vec::new();
+        // owner — and refills serialize on the line's occupancy. Watchers
+        // that stay parked are compacted in place, so the burst reuses the
+        // line's own storage and the caller's `woken` buffer.
         if op.is_write() {
-            let watchers = std::mem::take(&mut self.lines[addr.index()].watchers);
+            let mut watchers = self.lines[addr.index()].watchers.take();
             if !watchers.is_empty() {
-                let mut kept = Vec::new();
+                let mut kept = 0usize;
                 let mut busy = self.lines[addr.index()].busy_until.max(complete_at);
                 let mut new_sharers = 0u128;
-                for w in watchers {
+                for i in 0..watchers.len() {
+                    let w = watchers.as_slice()[i];
                     // *Every* write invalidates every spinner's cached
                     // copy; each refills (traffic + bus time) and
                     // re-checks. Spinners whose condition still fails stay
@@ -450,11 +550,13 @@ impl MemorySystem {
                     if new_value != w.equals {
                         woken.push((w.cpu, wake_at, new_value));
                     } else {
-                        kept.push(w);
+                        watchers.set(kept, w);
+                        kept += 1;
                     }
                 }
+                watchers.truncate(kept);
                 let line = &mut self.lines[addr.index()];
-                line.watchers = kept;
+                line.watchers = watchers;
                 line.busy_until = busy;
                 line.sharers |= new_sharers;
                 // Refilled watchers demote the writer's copy to shared.
@@ -469,7 +571,6 @@ impl MemorySystem {
         AccessOutcome {
             complete_at,
             value: old,
-            woken,
         }
     }
 
@@ -490,7 +591,10 @@ impl MemorySystem {
         stats: &mut SimStats,
     ) -> Option<(u64, u64)> {
         if self.lines[addr.index()].value != equals {
-            let out = self.access(now, cpu, addr, MemOp::Read, stats);
+            let mut scratch = std::mem::take(&mut self.read_scratch);
+            let out = self.access(now, cpu, addr, MemOp::Read, stats, &mut scratch);
+            debug_assert!(scratch.is_empty(), "reads wake no watchers");
+            self.read_scratch = scratch;
             return Some((out.complete_at, out.value));
         }
         let holds_copy = {
@@ -500,17 +604,19 @@ impl MemorySystem {
         if !holds_copy {
             // Fetch the line (traffic + line/bus occupancy) before
             // sleeping on it.
-            let _ = self.access(now, cpu, addr, MemOp::Read, stats);
+            let mut scratch = std::mem::take(&mut self.read_scratch);
+            let _ = self.access(now, cpu, addr, MemOp::Read, stats, &mut scratch);
+            debug_assert!(scratch.is_empty(), "reads wake no watchers");
+            self.read_scratch = scratch;
         }
         self.lines[addr.index()].watchers.push(Watcher { cpu, equals });
         None
     }
 
-    /// Drops any watcher registration for `cpu` on `addr` (used when a
-    /// program is torn down mid-wait).
-    #[allow(dead_code)]
-    pub(crate) fn cancel_watch(&mut self, cpu: CpuId, addr: Addr) {
-        self.lines[addr.index()].watchers.retain(|w| w.cpu != cpu);
+    /// Materializes the final value of every allocated word, in address
+    /// order (done once, when a finished machine is turned into a report).
+    pub(crate) fn final_values(&self) -> Vec<u64> {
+        self.lines.iter().map(|l| l.value).collect()
     }
 }
 
@@ -528,6 +634,34 @@ mod tests {
         )
     }
 
+    /// Test shim for the pre-buffer `access` signature: discards wakes.
+    fn access(
+        mem: &mut MemorySystem,
+        now: u64,
+        cpu: CpuId,
+        addr: Addr,
+        op: MemOp,
+        st: &mut SimStats,
+    ) -> AccessOutcome {
+        let mut woken = Vec::new();
+        mem.access(now, cpu, addr, op, st, &mut woken)
+    }
+
+    /// Like [`access`] but returns the woken watchers too.
+    #[allow(clippy::type_complexity)]
+    fn access_w(
+        mem: &mut MemorySystem,
+        now: u64,
+        cpu: CpuId,
+        addr: Addr,
+        op: MemOp,
+        st: &mut SimStats,
+    ) -> (AccessOutcome, Vec<(CpuId, u64, u64)>) {
+        let mut woken = Vec::new();
+        let out = mem.access(now, cpu, addr, op, st, &mut woken);
+        (out, woken)
+    }
+
     #[test]
     fn addr_encoding_roundtrip() {
         let a = Addr(0);
@@ -543,24 +677,24 @@ mod tests {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
         let cpu = CpuId(0);
-        assert_eq!(mem.access(0, cpu, a, MemOp::Write(5), &mut st).value, 0);
+        assert_eq!(access(&mut mem, 0, cpu, a, MemOp::Write(5), &mut st).value, 0);
         assert_eq!(mem.peek(a), 5);
         assert_eq!(
-            mem.access(0, cpu, a, MemOp::Cas { expected: 5, new: 7 }, &mut st).value,
+            access(&mut mem, 0, cpu, a, MemOp::Cas { expected: 5, new: 7 }, &mut st).value,
             5
         );
         assert_eq!(mem.peek(a), 7);
         assert_eq!(
-            mem.access(0, cpu, a, MemOp::Cas { expected: 5, new: 9 }, &mut st).value,
+            access(&mut mem, 0, cpu, a, MemOp::Cas { expected: 5, new: 9 }, &mut st).value,
             7,
             "failed cas returns old value"
         );
         assert_eq!(mem.peek(a), 7, "failed cas does not write");
-        assert_eq!(mem.access(0, cpu, a, MemOp::Swap(1), &mut st).value, 7);
-        assert_eq!(mem.access(0, cpu, a, MemOp::Tas, &mut st).value, 1);
-        assert_eq!(mem.access(0, cpu, a, MemOp::FetchAdd(3), &mut st).value, 1);
+        assert_eq!(access(&mut mem, 0, cpu, a, MemOp::Swap(1), &mut st).value, 7);
+        assert_eq!(access(&mut mem, 0, cpu, a, MemOp::Tas, &mut st).value, 1);
+        assert_eq!(access(&mut mem, 0, cpu, a, MemOp::FetchAdd(3), &mut st).value, 1);
         assert_eq!(mem.peek(a), 4);
-        assert_eq!(mem.access(0, cpu, a, MemOp::Read, &mut st).value, 4);
+        assert_eq!(access(&mut mem, 0, cpu, a, MemOp::Read, &mut st).value, 4);
     }
 
     #[test]
@@ -568,13 +702,13 @@ mod tests {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
         // CPU 0 (node 0) writes: local memory fetch.
-        let w0 = mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        let w0 = access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st);
         let t_local_mem = w0.complete_at;
         // CPU 1 (node 0) writes: same-node cache-to-cache.
-        let w1 = mem.access(w0.complete_at, CpuId(1), a, MemOp::Write(2), &mut st);
+        let w1 = access(&mut mem, w0.complete_at, CpuId(1), a, MemOp::Write(2), &mut st);
         let t_same = w1.complete_at - w0.complete_at;
         // CPU 2 (node 1) writes: remote cache-to-cache.
-        let w2 = mem.access(w1.complete_at, CpuId(2), a, MemOp::Write(3), &mut st);
+        let w2 = access(&mut mem, w1.complete_at, CpuId(2), a, MemOp::Write(3), &mut st);
         let t_remote = w2.complete_at - w1.complete_at;
         assert!(t_same < t_local_mem + 10, "cache transfer beats memory+eps");
         assert!(
@@ -582,7 +716,7 @@ mod tests {
             "NUCA ratio visible: remote {t_remote} vs same-node {t_same}"
         );
         // Re-write by the owner is a hit.
-        let w3 = mem.access(w2.complete_at, CpuId(2), a, MemOp::Write(4), &mut st);
+        let w3 = access(&mut mem, w2.complete_at, CpuId(2), a, MemOp::Write(4), &mut st);
         assert!(w3.complete_at - w2.complete_at <= LatencyModel::wildfire().l1_hit);
     }
 
@@ -590,12 +724,12 @@ mod tests {
     fn traffic_classification() {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
-        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st); // local mem fetch
+        access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st); // local mem fetch
         assert_eq!(st.traffic().local, 1);
         assert_eq!(st.traffic().global, 0);
-        mem.access(100, CpuId(2), a, MemOp::Write(2), &mut st); // remote cache fetch
+        access(&mut mem, 100, CpuId(2), a, MemOp::Write(2), &mut st); // remote cache fetch
         assert_eq!(st.traffic().global, 1);
-        mem.access(200, CpuId(2), a, MemOp::Write(3), &mut st); // hit
+        access(&mut mem, 200, CpuId(2), a, MemOp::Write(3), &mut st); // hit
         assert_eq!(st.traffic().total(), 2, "hits add no traffic");
         assert_eq!(st.cache_hits(), 1);
     }
@@ -604,17 +738,17 @@ mod tests {
     fn reads_share_then_write_invalidates() {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
-        mem.access(0, CpuId(0), a, MemOp::Write(9), &mut st);
+        access(&mut mem, 0, CpuId(0), a, MemOp::Write(9), &mut st);
         // Two readers pull shared copies.
-        mem.access(100, CpuId(1), a, MemOp::Read, &mut st);
-        mem.access(200, CpuId(2), a, MemOp::Read, &mut st);
+        access(&mut mem, 100, CpuId(1), a, MemOp::Read, &mut st);
+        access(&mut mem, 200, CpuId(2), a, MemOp::Read, &mut st);
         // Re-read by the same CPU is free.
         let before = st.traffic().total();
-        mem.access(300, CpuId(2), a, MemOp::Read, &mut st);
+        access(&mut mem, 300, CpuId(2), a, MemOp::Read, &mut st);
         assert_eq!(st.traffic().total(), before, "shared re-read is a hit");
         // A write invalidates the sharers (one local, one remote inval).
         let before = st.traffic();
-        mem.access(400, CpuId(0), a, MemOp::Write(1), &mut st);
+        access(&mut mem, 400, CpuId(0), a, MemOp::Write(1), &mut st);
         let after = st.traffic();
         assert!(after.total() > before.total(), "invalidations counted");
         assert!(after.global > before.global, "remote sharer invalidated");
@@ -624,11 +758,11 @@ mod tests {
     fn line_occupancy_serializes_contending_writers() {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
-        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st);
         // Two foreign writers issue at the same instant: the second must
         // be pushed behind the first by the occupancy horizon.
-        let w1 = mem.access(1000, CpuId(1), a, MemOp::Write(2), &mut st);
-        let w2 = mem.access(1000, CpuId(2), a, MemOp::Write(3), &mut st);
+        let w1 = access(&mut mem, 1000, CpuId(1), a, MemOp::Write(2), &mut st);
+        let w2 = access(&mut mem, 1000, CpuId(2), a, MemOp::Write(3), &mut st);
         assert!(w2.complete_at > w1.complete_at);
     }
 
@@ -648,13 +782,13 @@ mod tests {
         // CPU 3 (node 1) waits for the value to stop being 0.
         assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st).is_none());
         // A write of 0 does not wake it.
-        let out = mem.access(10, CpuId(0), a, MemOp::Write(0), &mut st);
-        assert!(out.woken.is_empty());
+        let (_, woken) = access_w(&mut mem, 10, CpuId(0), a, MemOp::Write(0), &mut st);
+        assert!(woken.is_empty());
         // A write of 5 wakes it, charging a (global) refill.
         let g_before = st.traffic().global;
-        let out = mem.access(20, CpuId(0), a, MemOp::Write(5), &mut st);
-        assert_eq!(out.woken.len(), 1);
-        let (cpu, wake_at, val) = out.woken[0];
+        let (out, woken) = access_w(&mut mem, 20, CpuId(0), a, MemOp::Write(5), &mut st);
+        assert_eq!(woken.len(), 1);
+        let (cpu, wake_at, val) = woken[0];
         assert_eq!(cpu, CpuId(3));
         assert_eq!(val, 5);
         assert!(wake_at > out.complete_at, "refill happens after the write");
@@ -668,9 +802,9 @@ mod tests {
         assert!(mem.wait_while(0, CpuId(1), a, 0, &mut st).is_none());
         assert!(mem.wait_while(0, CpuId(2), a, 0, &mut st).is_none());
         assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st).is_none());
-        let out = mem.access(10, CpuId(0), a, MemOp::Write(1), &mut st);
-        assert_eq!(out.woken.len(), 3);
-        let mut times: Vec<u64> = out.woken.iter().map(|w| w.1).collect();
+        let (_, woken) = access_w(&mut mem, 10, CpuId(0), a, MemOp::Write(1), &mut st);
+        assert_eq!(woken.len(), 3);
+        let mut times: Vec<u64> = woken.iter().map(|w| w.1).collect();
         let sorted = {
             let mut t = times.clone();
             t.sort();
@@ -683,13 +817,18 @@ mod tests {
     }
 
     #[test]
-    fn cancel_watch_removes_registration() {
-        let (mut mem, mut st) = mem2x2();
+    fn watcher_list_spills_past_inline_capacity() {
+        // More concurrent watchers than the inline buffer holds: all of
+        // them must still be tracked and woken.
+        let topo = Arc::new(Topology::symmetric(2, 4));
+        let mut mem = MemorySystem::new(topo, LatencyModel::wildfire());
+        let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
-        assert!(mem.wait_while(0, CpuId(1), a, 0, &mut st).is_none());
-        mem.cancel_watch(CpuId(1), a);
-        let out = mem.access(10, CpuId(0), a, MemOp::Write(1), &mut st);
-        assert!(out.woken.is_empty());
+        for c in 1..8 {
+            assert!(mem.wait_while(0, CpuId(c), a, 0, &mut st).is_none());
+        }
+        let (_, woken) = access_w(&mut mem, 10, CpuId(0), a, MemOp::Write(1), &mut st);
+        assert_eq!(woken.len(), 7, "every spilled watcher wakes");
     }
 
     #[test]
@@ -703,8 +842,8 @@ mod tests {
         let mut mem = MemorySystem::new(topo, lat);
         let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
-        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
-        let w = mem.access(1000, CpuId(1), a, MemOp::Write(2), &mut st);
+        access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st);
+        let w = access(&mut mem, 1000, CpuId(1), a, MemOp::Write(2), &mut st);
         assert!(
             w.complete_at - 1000 >= lat.same_node_transfer,
             "flat same-node transfer must pay the full node latency"
@@ -724,10 +863,10 @@ mod tests {
         let mut mem = MemorySystem::new(topo, lat);
         let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
-        mem.access(0, CpuId(0), a, MemOp::Write(1), &mut st);
+        access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st);
         // cpu1 shares cpu0's chip; cpu2 is the other chip of node 0.
-        let chip = mem.access(10_000, CpuId(1), a, MemOp::Write(2), &mut st);
-        let cross = mem.access(20_000, CpuId(2), a, MemOp::Write(3), &mut st);
+        let chip = access(&mut mem, 10_000, CpuId(1), a, MemOp::Write(2), &mut st);
+        let cross = access(&mut mem, 20_000, CpuId(2), a, MemOp::Write(3), &mut st);
         assert_eq!(chip.complete_at - 10_000, lat.same_chip_transfer);
         assert!(cross.complete_at - 20_000 >= lat.same_node_transfer);
         // Both are local traffic.

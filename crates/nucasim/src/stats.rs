@@ -63,6 +63,8 @@ pub struct SimStats {
     cache_hits: u64,
     /// Total preemption windows applied.
     preemptions: u64,
+    /// Total program-resume events the engine processed.
+    events: u64,
 }
 
 impl SimStats {
@@ -83,6 +85,11 @@ impl SimStats {
     /// Preemption windows the engine applied.
     pub fn preemptions(&self) -> u64 {
         self.preemptions
+    }
+
+    /// Program-resume events processed by the engine.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Trace for lock index `lock`, if any acquisition was recorded.
@@ -129,6 +136,17 @@ impl SimStats {
 
     pub(crate) fn count_preemption(&mut self) {
         self.preemptions += 1;
+    }
+
+    pub(crate) fn add_events(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Moves the lock traces out, leaving an empty list behind (used when a
+    /// finished machine is converted into a report, so traces are not
+    /// cloned).
+    pub(crate) fn take_locks(&mut self) -> Vec<LockTrace> {
+        std::mem::take(&mut self.locks)
     }
 
     pub(crate) fn record_acquire(&mut self, lock: usize, node: NodeId) {

@@ -128,8 +128,9 @@ pub(crate) fn exclusion_test(
             }),
         );
     }
-    let report = m.run(20_000_000_000);
-    assert!(report.finished_all, "{kind}: run did not finish");
+    let status = m.run(20_000_000_000);
+    assert!(status.finished_all, "{kind}: run did not finish");
+    let report = m.into_report();
     let expected = (nodes * cpus_per_node) as u64 * u64::from(iters);
     assert_eq!(
         report.final_value(counter),
@@ -281,8 +282,9 @@ pub(crate) fn uncontested_cost(kind: LockKind) -> UncontestedCost {
             }),
         );
     }
-    let report = m.run(1_000_000_000);
-    assert!(report.finished_all, "{kind}: uncontested run stuck");
+    let status = m.run(1_000_000_000);
+    assert!(status.finished_all, "{kind}: uncontested run stuck");
+    let report = m.into_report();
     UncontestedCost {
         same_processor: report.final_value(outs[0]),
         same_node: report.final_value(outs[1]),

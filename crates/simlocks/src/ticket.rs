@@ -199,8 +199,9 @@ mod tests {
                 }),
             );
         }
-        let r = m.run(10_000_000_000);
-        assert!(r.finished_all, "ticket lock stuck");
+        let status = m.run(10_000_000_000);
+        assert!(status.finished_all, "ticket lock stuck");
+        let r = m.into_report();
         assert_eq!(r.final_value(counter), 6 * 40);
         // FIFO: handoff ratio should be near the queue-lock expectation,
         // not near zero.

@@ -447,7 +447,8 @@ pub fn run_app(model: &AppModel, cfg: &AppRunConfig) -> AppReport {
         );
     }
 
-    let report = machine.run(cfg.cycle_limit);
+    machine.run(cfg.cycle_limit);
+    let report = machine.into_report();
     let acquires: u64 = report.lock_traces.iter().map(|t| t.acquisitions).sum();
     AppReport {
         name: model.name,

@@ -183,8 +183,9 @@ mod tests {
                 }),
             );
         }
-        let r = m.run(1_000_000_000);
-        assert!(r.finished_all, "barrier deadlocked");
+        let status = m.run(1_000_000_000);
+        assert!(status.finished_all, "barrier deadlocked");
+        let r = m.into_report();
         for out in outs {
             assert_eq!(r.final_value(out), 5);
         }
@@ -205,8 +206,9 @@ mod tests {
                 state: 0,
             }),
         );
-        let r = m.run(10_000_000);
-        assert!(r.finished_all);
+        let status = m.run(10_000_000);
+        assert!(status.finished_all);
+        let r = m.into_report();
         assert_eq!(r.final_value(out), 3);
     }
 

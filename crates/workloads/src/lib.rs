@@ -118,7 +118,8 @@ mod tests {
     fn micro_report_from_minimal_sim() {
         let mut m = Machine::new(MachineConfig::wildfire(1, 1));
         m.add_program(nuca_topology::CpuId(0), Box::new(Noop));
-        let report = m.run(1_000);
+        m.run(1_000);
+        let report = m.into_report();
         let r = MicroReport::from_sim(LockKind::Tatas, 1, &report, 0);
         assert_eq!(r.total_acquires, 1);
         assert!(r.finished);

@@ -265,7 +265,8 @@ pub fn run_modern_with(cfg: &ModernConfig, factory: &LockFactory<'_>) -> (SimRep
             }),
         );
     }
-    let report = machine.run(cfg.cycle_limit);
+    machine.run(cfg.cycle_limit);
+    let report = machine.into_report();
     (report, cs_lines.to_vec())
 }
 

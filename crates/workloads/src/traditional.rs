@@ -208,7 +208,8 @@ pub fn run_traditional(cfg: &TraditionalConfig) -> MicroReport {
             }),
         );
     }
-    let report = machine.run(cfg.cycle_limit);
+    machine.run(cfg.cycle_limit);
+    let report = machine.into_report();
     MicroReport::from_sim(cfg.kind, cfg.threads, &report, 0)
 }
 

@@ -168,7 +168,8 @@ pub fn run_uncontested(
             }),
         );
     }
-    let report = machine.run(1_000_000_000);
+    machine.run(1_000_000_000);
+    let report = machine.into_report();
     assert!(report.finished_all, "{kind}: uncontested sequence stuck");
     UncontestedReport {
         kind,

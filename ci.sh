@@ -18,4 +18,30 @@ echo "==> harness smoke run (all artifacts, fast scale, 2 jobs)"
 ./target/release/experiments all --fast --jobs 2 --out target/ci-experiments \
     --bench-json target/ci-experiments/bench.json >/dev/null
 
+echo "==> trace smoke (traced run must not change results)"
+./target/release/experiments fig5 --fast --jobs 2 \
+    --out target/ci-trace-off >/dev/null
+./target/release/experiments fig5 --fast --jobs 2 \
+    --out target/ci-trace-on \
+    --trace target/ci-trace-on/trace.json \
+    --metrics-json target/ci-trace-on/metrics.json >/dev/null
+cmp target/ci-trace-off/fig5_time.tsv target/ci-trace-on/fig5_time.tsv
+cmp target/ci-trace-off/fig5_handoff.tsv target/ci-trace-on/fig5_handoff.tsv
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+for path in ("target/ci-trace-on/trace.json", "target/ci-trace-on/metrics.json"):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc, f"{path} is empty"
+events = json.load(open("target/ci-trace-on/trace.json"))["traceEvents"]
+names = {e["name"] for e in events}
+for required in ("LockAcquire", "CoherenceTxn", "GotAngry", "BackoffSleep"):
+    assert required in names, f"trace missing {required} events"
+print(f"trace OK: {len(events)} events, {len(names)} distinct names")
+EOF
+else
+    echo "python3 not found; skipping JSON parse validation"
+fi
+
 echo "==> ci OK"

@@ -10,7 +10,7 @@ use nucasim::MachineConfig;
 use crate::report::{fmt_ratio, Report};
 use crate::{runner, Scale};
 
-fn config(scale: Scale, kind: LockKind, critical_work: u32) -> ModernConfig {
+pub(crate) fn config(scale: Scale, kind: LockKind, critical_work: u32) -> ModernConfig {
     let (per_node, iters) = scale.pick((14, 60), (4, 20));
     ModernConfig {
         kind,
@@ -22,7 +22,7 @@ fn config(scale: Scale, kind: LockKind, critical_work: u32) -> ModernConfig {
     }
 }
 
-fn sweep(scale: Scale) -> Vec<u32> {
+pub(crate) fn sweep(scale: Scale) -> Vec<u32> {
     match scale {
         Scale::Full => vec![0, 300, 600, 900, 1200, 1500, 1800, 2100],
         Scale::Fast => vec![0, 700, 1500],

@@ -1,0 +1,282 @@
+//! A minimal, escaping-correct JSON writer shared by every artifact that
+//! emits JSON (the bench baseline, the Chrome trace, the metrics dump).
+//!
+//! The standard library has no JSON support and this crate takes no
+//! external dependencies, so each writer used to hand-roll `format!`
+//! strings — correct only until a value contains a quote or backslash.
+//! [`JsonWriter`] centralizes the quoting/escaping/comma bookkeeping; the
+//! caller just opens containers and emits fields.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streaming JSON writer with automatic comma placement and optional
+/// two-space pretty-printing.
+///
+/// ```
+/// use nuca_experiments::json::JsonWriter;
+///
+/// let mut w = JsonWriter::compact();
+/// w.begin_object();
+/// w.field_str("name", "fig5");
+/// w.key("rows");
+/// w.begin_array();
+/// w.number_u64(28);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"fig5","rows":[28]}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: whether it already holds an element.
+    stack: Vec<bool>,
+    pretty: bool,
+    /// A key was just written; the next value continues the same line.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// A pretty-printing writer (two-space indent, one element per line).
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            buf: String::new(),
+            stack: Vec::new(),
+            pretty: true,
+            pending_key: false,
+        }
+    }
+
+    /// A compact writer (no whitespace) — for large event streams.
+    pub fn compact() -> JsonWriter {
+        JsonWriter {
+            pretty: false,
+            ..JsonWriter::new()
+        }
+    }
+
+    fn prepare_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has_elem) = self.stack.last_mut() {
+            if *has_elem {
+                self.buf.push(',');
+            }
+            *has_elem = true;
+            if self.pretty {
+                self.buf.push('\n');
+                for _ in 0..self.stack.len() {
+                    self.buf.push_str("  ");
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, c: char) {
+        let had_elem = self.stack.pop().expect("close without open container");
+        if self.pretty && had_elem {
+            self.buf.push('\n');
+            for _ in 0..self.stack.len() {
+                self.buf.push_str("  ");
+            }
+        }
+        self.buf.push(c);
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
+        self.prepare_value();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
+        self.close('}');
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
+        self.prepare_value();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Writes an object key; the next emission is its value.
+    pub fn key(&mut self, k: &str) {
+        self.prepare_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str(if self.pretty { "\": " } else { "\":" });
+        self.pending_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.prepare_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+    }
+
+    /// Writes an integer value.
+    pub fn number_u64(&mut self, v: u64) {
+        self.prepare_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Writes a pre-formatted numeric value (caller controls precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a plain JSON number (defends against `NaN`,
+    /// `inf`, and accidental injection).
+    pub fn number_raw(&mut self, v: &str) {
+        assert!(
+            v.bytes()
+                .all(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')),
+            "not a JSON number: {v}"
+        );
+        self.prepare_value();
+        self.buf.push_str(v);
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, v: bool) {
+        self.prepare_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Key + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Key + integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.number_u64(v);
+    }
+
+    /// Key + pre-formatted numeric value.
+    pub fn field_raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.number_raw(v);
+    }
+
+    /// Finishes and returns the document (with a trailing newline when
+    /// pretty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open.
+    pub fn finish(mut self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        if self.pretty {
+            self.buf.push('\n');
+        }
+        self.buf
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> JsonWriter {
+        JsonWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_every_special() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn compact_object_with_everything() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.field_str("s", "a\"b");
+        w.field_u64("n", 7);
+        w.field_raw("f", "1.5");
+        w.key("ok");
+        w.boolean(true);
+        w.key("list");
+        w.begin_array();
+        w.number_u64(1);
+        w.number_u64(2);
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"s":"a\"b","n":7,"f":1.5,"ok":true,"list":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_nested_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.number_u64(1);
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn empty_containers_close_inline() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.end_array();
+        assert_eq!(w.finish(), "[]\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a JSON number")]
+    fn raw_number_rejects_nan() {
+        let mut w = JsonWriter::compact();
+        w.number_raw("NaN");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_containers_panic() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

@@ -27,6 +27,8 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod hier_exp;
+pub mod json;
+pub mod lat_hist;
 pub mod nuca_ratio;
 pub mod raytrace_exp;
 pub mod report;
@@ -34,6 +36,7 @@ pub mod runner;
 pub mod table1;
 pub mod table3;
 pub mod ticket_exp;
+pub mod tracecap;
 
 use std::error::Error;
 use std::fmt;
@@ -85,7 +88,7 @@ pub const EXPERIMENTS: [&str; 13] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXTENSIONS: [&str; 4] = ["nuca_ratio", "hier", "colloc", "ticket"];
+pub const EXTENSIONS: [&str; 5] = ["nuca_ratio", "hier", "colloc", "ticket", "lat_hist"];
 
 /// Runs one experiment (or `all`) and returns its report(s).
 ///
@@ -111,6 +114,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "hier" => Ok(vec![hier_exp::run(scale)]),
         "colloc" => Ok(vec![colloc::run(scale)]),
         "ticket" => Ok(vec![ticket_exp::run(scale)]),
+        "lat_hist" => Ok(vec![lat_hist::run(scale)]),
         "all" => {
             // Fan the artifacts out across orchestration threads (their
             // leaf sim jobs share the global --jobs budget) and flatten

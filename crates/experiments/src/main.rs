@@ -6,6 +6,7 @@
 //! experiments all --fast        # smoke-test scale
 //! experiments all --jobs 4      # bound parallel simulation jobs
 //! experiments all --bench-json BENCH_harness.json
+//! experiments fig5 --trace t.json --metrics-json m.json  # observability
 //! experiments --list            # artifact inventory
 //! ```
 
@@ -13,17 +14,21 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use nuca_experiments::{run_experiment, runner, Report, Scale, EXPERIMENTS, EXTENSIONS};
+use nuca_experiments::json::JsonWriter;
+use nuca_experiments::{run_experiment, runner, tracecap, Report, Scale, EXPERIMENTS, EXTENSIONS};
 use nuca_experiments::UnknownExperiment;
 
-const USAGE: &str =
-    "usage: experiments [--fast] [--out DIR] [--jobs N] [--bench-json PATH] <id>... | all | --list";
+const USAGE: &str = "usage: experiments [--fast] [--out DIR] [--jobs N] \
+     [--bench-json PATH] [--trace PATH] [--metrics-json PATH] \
+     <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("target/experiments");
     let mut bench_json: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -51,6 +56,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match iter.next() {
+                Some(path) => trace_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-json" => match iter.next() {
+                Some(path) => metrics_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics-json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" => {
                 println!("paper artifacts: {}", EXPERIMENTS.join(", "));
                 println!("extensions:      {}", EXTENSIONS.join(", "));
@@ -60,6 +79,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unrecognized flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
             }
             other => ids.push(other.to_owned()),
         }
@@ -155,6 +179,17 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Observability capture: dedicated traced runs, after the artifacts so
+    // their cost never pollutes the bench baseline above.
+    if trace_path.is_some() || metrics_path.is_some() {
+        if let Err(err) =
+            tracecap::write_captures(scale, trace_path.as_deref(), metrics_path.as_deref())
+        {
+            eprintln!("could not write capture: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -166,30 +201,25 @@ fn bench_report(
     total: Duration,
     events: u64,
 ) -> String {
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        scale.pick("full", "fast")
-    ));
-    json.push_str(&format!("  \"jobs\": {},\n", runner::max_jobs()));
-    json.push_str("  \"artifacts\": [\n");
-    for (i, (id, elapsed)) in artifact_times.iter().enumerate() {
-        let comma = if i + 1 < artifact_times.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"wall_ms\": {:.1}}}{comma}\n",
-            elapsed.as_secs_f64() * 1e3
-        ));
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("scale", scale.pick("full", "fast"));
+    w.field_u64("jobs", runner::max_jobs() as u64);
+    w.key("artifacts");
+    w.begin_array();
+    for (id, elapsed) in artifact_times {
+        w.begin_object();
+        w.field_str("id", id);
+        w.field_raw("wall_ms", &format!("{:.1}", elapsed.as_secs_f64() * 1e3));
+        w.end_object();
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"total_wall_ms\": {:.1},\n",
-        total.as_secs_f64() * 1e3
-    ));
-    json.push_str(&format!("  \"sim_events\": {events},\n"));
-    json.push_str(&format!(
-        "  \"sim_events_per_sec\": {:.0}\n",
-        events as f64 / total.as_secs_f64().max(1e-9)
-    ));
-    json.push_str("}\n");
-    json
+    w.end_array();
+    w.field_raw("total_wall_ms", &format!("{:.1}", total.as_secs_f64() * 1e3));
+    w.field_u64("sim_events", events);
+    w.field_raw(
+        "sim_events_per_sec",
+        &format!("{:.0}", events as f64 / total.as_secs_f64().max(1e-9)),
+    );
+    w.end_object();
+    w.finish()
 }

@@ -13,6 +13,7 @@ use crate::preempt::PreemptState;
 use crate::program::{Command, CpuCtx, Program};
 use crate::rng::SplitMix64;
 use crate::stats::{LockTrace, SimStats, TrafficCounts};
+use crate::trace::{SimEvent, TraceSink};
 
 struct CpuSlot {
     program: Option<Box<dyn Program>>,
@@ -65,12 +66,17 @@ pub struct SimReport {
     pub finish_times: Vec<Option<u64>>,
     /// Coherence traffic generated during the run.
     pub traffic: TrafficCounts,
+    /// Traffic attributed per node (index = node id; may be shorter than
+    /// the node count when trailing nodes generated no traffic).
+    pub node_traffic: Vec<TrafficCounts>,
     /// Per-lock acquisition traces.
     pub lock_traces: Vec<LockTrace>,
     /// Final values of all allocated words.
     values: Vec<u64>,
     /// Preemption windows applied.
     pub preemptions: u64,
+    /// HBO_GT_SD anger episodes recorded.
+    pub anger_episodes: u64,
     /// Transactions served from the requester's own cache.
     pub cache_hits: u64,
     /// Program-resume events the engine processed.
@@ -134,6 +140,9 @@ pub struct Machine {
     /// Recycled buffer for the watchers each write wakes (engine-owned so
     /// the hot path never allocates).
     woken_buf: Vec<(CpuId, u64, u64)>,
+    /// Installed trace sink, if any. `None` (the default) keeps every
+    /// emission site down to one branch.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Machine {
@@ -161,7 +170,20 @@ impl Machine {
             seq: 0,
             preempt,
             woken_buf: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Installs a trace sink; subsequent simulation emits [`SimEvent`]s
+    /// into it. Tracing only observes — simulation results are identical
+    /// with or without a sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
     }
 
     /// The machine's topology.
@@ -212,6 +234,17 @@ impl Machine {
             for _ in 0..applied {
                 self.stats.count_preemption();
             }
+            if applied > 0 {
+                if let Some(sink) = self.trace.as_deref_mut() {
+                    sink.record(
+                        t,
+                        SimEvent::Preempt {
+                            cpu: CpuId(cpu),
+                            cycles: adj - t,
+                        },
+                    );
+                }
+            }
             adj
         } else {
             t
@@ -261,6 +294,7 @@ impl Machine {
                         node: self.topo.node_of(CpuId(cpu)),
                         now: t,
                         stats: &mut self.stats,
+                        trace: self.trace.as_deref_mut(),
                     };
                     program.resume(&mut ctx, last)
                 };
@@ -272,10 +306,14 @@ impl Machine {
                     }
                     Command::Delay(d) => (t + d.max(1), None),
                     Command::WaitWhile { addr, equals } => {
-                        match self
-                            .mem
-                            .wait_while(t, CpuId(cpu), addr, equals, &mut self.stats)
-                        {
+                        match self.mem.wait_while(
+                            t,
+                            CpuId(cpu),
+                            addr,
+                            equals,
+                            &mut self.stats,
+                            self.trace.as_deref_mut(),
+                        ) {
                             Some((done, v)) => (done, Some(v)),
                             None => {
                                 // Parked: a future write wakes this CPU.
@@ -299,9 +337,15 @@ impl Machine {
                             _ => unreachable!("non-memory commands handled above"),
                         };
                         let mut woken = std::mem::take(&mut self.woken_buf);
-                        let out =
-                            self.mem
-                                .access(t, CpuId(cpu), addr, op, &mut self.stats, &mut woken);
+                        let out = self.mem.access(
+                            t,
+                            CpuId(cpu),
+                            addr,
+                            op,
+                            &mut self.stats,
+                            self.trace.as_deref_mut(),
+                            &mut woken,
+                        );
                         // Wake any watchers first so their events are ordered.
                         for &(wcpu, wake_at, wval) in &woken {
                             self.schedule_resume(wcpu.index(), wake_at, Some(wval));
@@ -355,9 +399,11 @@ impl Machine {
             finished_all,
             finish_times,
             traffic: self.stats.traffic(),
+            node_traffic: self.stats.node_traffic().to_vec(),
             lock_traces: self.stats.take_locks(),
             values: self.mem.final_values(),
             preemptions: self.stats.preemptions(),
+            anger_episodes: self.stats.anger_episodes(),
             cache_hits: self.stats.cache_hits(),
             events: self.stats.events(),
         }
@@ -664,6 +710,77 @@ mod tests {
         assert_eq!(fast.events, slow.events);
     }
 
+    /// Tracing must only observe: a traced run produces the same report as
+    /// an untraced one, every counted coherence transaction appears as one
+    /// `CoherenceTxn` event, and per-CPU timestamps are monotone.
+    #[test]
+    fn tracing_only_observes() {
+        use crate::trace::{EventLog, SimEvent, TraceRecord};
+
+        fn run_once(traced: bool) -> (SimReport, Vec<TraceRecord>) {
+            let mut m = Machine::new(MachineConfig::wildfire(2, 4).with_seed(3));
+            let log = EventLog::new();
+            if traced {
+                m.set_trace_sink(Box::new(log.clone()));
+            }
+            let a = m.mem_mut().alloc(NodeId(0));
+            struct Incr {
+                addr: Addr,
+                left: u32,
+            }
+            impl Program for Incr {
+                fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                    if self.left == 0 {
+                        return Command::Done;
+                    }
+                    self.left -= 1;
+                    Command::FetchAdd {
+                        addr: self.addr,
+                        delta: 1,
+                    }
+                }
+            }
+            for cpu in 0..8 {
+                m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 50 }));
+            }
+            let status = m.run(100_000_000);
+            assert!(status.finished_all);
+            (m.into_report(), log.take())
+        }
+
+        let (plain, no_events) = run_once(false);
+        let (traced, events) = run_once(true);
+        assert!(no_events.is_empty());
+        assert_eq!(plain.end_time, traced.end_time);
+        assert_eq!(plain.traffic, traced.traffic);
+        assert_eq!(plain.finish_times, traced.finish_times);
+        assert_eq!(plain.events, traced.events);
+
+        let txns = events
+            .iter()
+            .filter(|r| matches!(r.event, SimEvent::CoherenceTxn { .. }))
+            .count() as u64;
+        assert_eq!(txns, traced.traffic.total(), "one event per counted txn");
+
+        let mut last_per_cpu = [0u64; 8];
+        for r in &events {
+            let cpu = match r.event {
+                SimEvent::LockAcquire { cpu, .. }
+                | SimEvent::LockRelease { cpu, .. }
+                | SimEvent::BackoffSleep { cpu, .. }
+                | SimEvent::CoherenceTxn { cpu, .. }
+                | SimEvent::Preempt { cpu, .. }
+                | SimEvent::GotAngry { cpu, .. }
+                | SimEvent::ThrottleSpin { cpu, .. } => cpu,
+            };
+            assert!(
+                r.at >= last_per_cpu[cpu.index()],
+                "per-CPU timestamps must be monotone"
+            );
+            last_per_cpu[cpu.index()] = r.at;
+        }
+    }
+
     #[test]
     fn preemption_slows_execution() {
         fn run_once(preempt: bool) -> u64 {
@@ -702,9 +819,11 @@ mod tests {
             finished_all: true,
             finish_times: vec![Some(80), Some(100)],
             traffic: TrafficCounts::default(),
+            node_traffic: Vec::new(),
             lock_traces: Vec::new(),
             values: Vec::new(),
             preemptions: 0,
+            anger_episodes: 0,
             cache_hits: 0,
             events: 0,
         };

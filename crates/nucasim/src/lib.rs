@@ -67,18 +67,22 @@
 mod config;
 mod engine;
 mod mem;
+mod metrics;
 mod preempt;
 mod program;
 mod rng;
 mod stats;
+mod trace;
 
 pub use config::{LatencyModel, MachineConfig};
 pub use engine::{Machine, RunStatus, SimReport};
 pub use mem::{Addr, MemOp, MemorySystem};
+pub use metrics::Histogram;
 pub use preempt::PreemptionConfig;
 pub use program::{Command, CpuCtx, Program};
 pub use rng::SplitMix64;
 pub use stats::{LockTrace, SimStats, TrafficCounts};
+pub use trace::{BackoffClass, EventLog, SimEvent, TraceRecord, TraceSink};
 
 /// Cycles per second of the simulated processors (250 MHz, the paper's
 /// UltraSPARC II clock). One cycle is 4 ns.

@@ -18,6 +18,7 @@ use nuca_topology::{CpuId, NodeId, Topology};
 
 use crate::config::LatencyModel;
 use crate::stats::SimStats;
+use crate::trace::{SimEvent, TraceSink};
 
 /// Identifier of one simulated memory word (its own cache line).
 ///
@@ -355,10 +356,13 @@ impl MemorySystem {
     /// The value effect is applied immediately (transactions on one line
     /// are serialized by the event order, which is also the coherence
     /// order); the returned completion time reflects latency and line
-    /// occupancy. Traffic is recorded into `stats`. `woken` is cleared and
-    /// then filled with `(cpu, wake_time, observed_value)` for each watcher
+    /// occupancy. Traffic is recorded into `stats`; every counted
+    /// transaction additionally emits one `CoherenceTxn` event into
+    /// `trace` when a sink is installed. `woken` is cleared and then
+    /// filled with `(cpu, wake_time, observed_value)` for each watcher
     /// this access woke — a caller-owned buffer so the per-write wake
     /// burst never allocates.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn access(
         &mut self,
         now: u64,
@@ -366,10 +370,12 @@ impl MemorySystem {
         addr: Addr,
         op: MemOp,
         stats: &mut SimStats,
+        mut trace: Option<&mut (dyn TraceSink + 'static)>,
         woken: &mut Vec<(CpuId, u64, u64)>,
     ) -> AccessOutcome {
         woken.clear();
         let my_node = self.topo.node_of(cpu);
+        let home = self.lines[addr.index()].home;
         let lat = self.latency;
 
         // Phase 1: classify the access against current line state.
@@ -418,16 +424,27 @@ impl MemorySystem {
         } else if src == Source::SameChipCache {
             // On-chip transfer: serializes on the line but stays off the
             // node's snooping bus and the interconnect.
-            stats.count_local();
+            stats.count_local(my_node);
             let line = &mut self.lines[addr.index()];
             start = now.max(line.busy_until);
             line.busy_until = start + lat.local_occupancy;
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(
+                    start,
+                    SimEvent::CoherenceTxn {
+                        cpu,
+                        node: my_node,
+                        home,
+                        global: false,
+                    },
+                );
+            }
         } else {
             let global = matches!(src, Source::RemoteCache | Source::RemoteMemory);
             if global {
-                stats.count_global();
+                stats.count_global(my_node);
             } else {
-                stats.count_local();
+                stats.count_local(my_node);
             }
             let line_busy = self.lines[addr.index()].busy_until;
             let mut s = now.max(line_busy).max(self.bus_until[my_node.index()]);
@@ -460,6 +477,17 @@ impl MemorySystem {
                         lat.link_occupancy
                     };
             }
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(
+                    start,
+                    SimEvent::CoherenceTxn {
+                        cpu,
+                        node: my_node,
+                        home,
+                        global,
+                    },
+                );
+            }
         }
         let complete_at = start + latency;
 
@@ -479,10 +507,22 @@ impl MemorySystem {
             while inval_nodes != 0 {
                 let n = inval_nodes.trailing_zeros() as usize;
                 inval_nodes &= inval_nodes - 1;
-                if NodeId(n) == my_node {
-                    stats.count_local();
+                let global = NodeId(n) != my_node;
+                if global {
+                    stats.count_global(NodeId(n));
                 } else {
-                    stats.count_global();
+                    stats.count_local(NodeId(n));
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(
+                        start,
+                        SimEvent::CoherenceTxn {
+                            cpu,
+                            node: NodeId(n),
+                            home,
+                            global,
+                        },
+                    );
                 }
             }
         }
@@ -525,10 +565,10 @@ impl MemorySystem {
                     let w_node = self.topo.node_of(w.cpu);
                     let global = w_node != my_node;
                     let (refill, occ) = if global {
-                        stats.count_global();
+                        stats.count_global(w_node);
                         (lat.remote_transfer, lat.global_occupancy)
                     } else {
-                        stats.count_local();
+                        stats.count_local(w_node);
                         (lat.same_node_transfer, lat.local_occupancy)
                     };
                     // The refill burst arbitrates for the same shared
@@ -541,6 +581,17 @@ impl MemorySystem {
                     }
                     let wake_at = s + refill;
                     busy = s + occ;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(
+                            s,
+                            SimEvent::CoherenceTxn {
+                                cpu: w.cpu,
+                                node: w_node,
+                                home,
+                                global,
+                            },
+                        );
+                    }
                     self.bus_until[w_node.index()] = s + lat.bus_occupancy;
                     if global {
                         self.bus_until[my_node.index()] = s + lat.bus_occupancy;
@@ -589,10 +640,11 @@ impl MemorySystem {
         addr: Addr,
         equals: u64,
         stats: &mut SimStats,
+        trace: Option<&mut (dyn TraceSink + 'static)>,
     ) -> Option<(u64, u64)> {
         if self.lines[addr.index()].value != equals {
             let mut scratch = std::mem::take(&mut self.read_scratch);
-            let out = self.access(now, cpu, addr, MemOp::Read, stats, &mut scratch);
+            let out = self.access(now, cpu, addr, MemOp::Read, stats, trace, &mut scratch);
             debug_assert!(scratch.is_empty(), "reads wake no watchers");
             self.read_scratch = scratch;
             return Some((out.complete_at, out.value));
@@ -605,7 +657,7 @@ impl MemorySystem {
             // Fetch the line (traffic + line/bus occupancy) before
             // sleeping on it.
             let mut scratch = std::mem::take(&mut self.read_scratch);
-            let _ = self.access(now, cpu, addr, MemOp::Read, stats, &mut scratch);
+            let _ = self.access(now, cpu, addr, MemOp::Read, stats, trace, &mut scratch);
             debug_assert!(scratch.is_empty(), "reads wake no watchers");
             self.read_scratch = scratch;
         }
@@ -634,7 +686,8 @@ mod tests {
         )
     }
 
-    /// Test shim for the pre-buffer `access` signature: discards wakes.
+    /// Test shim for the pre-buffer `access` signature: discards wakes,
+    /// no tracing.
     fn access(
         mem: &mut MemorySystem,
         now: u64,
@@ -644,7 +697,7 @@ mod tests {
         st: &mut SimStats,
     ) -> AccessOutcome {
         let mut woken = Vec::new();
-        mem.access(now, cpu, addr, op, st, &mut woken)
+        mem.access(now, cpu, addr, op, st, None, &mut woken)
     }
 
     /// Like [`access`] but returns the woken watchers too.
@@ -658,7 +711,7 @@ mod tests {
         st: &mut SimStats,
     ) -> (AccessOutcome, Vec<(CpuId, u64, u64)>) {
         let mut woken = Vec::new();
-        let out = mem.access(now, cpu, addr, op, st, &mut woken);
+        let out = mem.access(now, cpu, addr, op, st, None, &mut woken);
         (out, woken)
     }
 
@@ -771,7 +824,7 @@ mod tests {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
         mem.poke(a, 7);
-        let out = mem.wait_while(0, CpuId(0), a, 3, &mut st);
+        let out = mem.wait_while(0, CpuId(0), a, 3, &mut st, None);
         assert!(matches!(out, Some((_, 7))));
     }
 
@@ -780,7 +833,7 @@ mod tests {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
         // CPU 3 (node 1) waits for the value to stop being 0.
-        assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st).is_none());
+        assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st, None).is_none());
         // A write of 0 does not wake it.
         let (_, woken) = access_w(&mut mem, 10, CpuId(0), a, MemOp::Write(0), &mut st);
         assert!(woken.is_empty());
@@ -799,9 +852,9 @@ mod tests {
     fn multiple_watchers_wake_staggered() {
         let (mut mem, mut st) = mem2x2();
         let a = mem.alloc(NodeId(0));
-        assert!(mem.wait_while(0, CpuId(1), a, 0, &mut st).is_none());
-        assert!(mem.wait_while(0, CpuId(2), a, 0, &mut st).is_none());
-        assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st).is_none());
+        assert!(mem.wait_while(0, CpuId(1), a, 0, &mut st, None).is_none());
+        assert!(mem.wait_while(0, CpuId(2), a, 0, &mut st, None).is_none());
+        assert!(mem.wait_while(0, CpuId(3), a, 0, &mut st, None).is_none());
         let (_, woken) = access_w(&mut mem, 10, CpuId(0), a, MemOp::Write(1), &mut st);
         assert_eq!(woken.len(), 3);
         let mut times: Vec<u64> = woken.iter().map(|w| w.1).collect();
@@ -825,7 +878,7 @@ mod tests {
         let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
         for c in 1..8 {
-            assert!(mem.wait_while(0, CpuId(c), a, 0, &mut st).is_none());
+            assert!(mem.wait_while(0, CpuId(c), a, 0, &mut st, None).is_none());
         }
         let (_, woken) = access_w(&mut mem, 10, CpuId(0), a, MemOp::Write(1), &mut st);
         assert_eq!(woken.len(), 7, "every spilled watcher wakes");

@@ -1,0 +1,211 @@
+//! Fixed-footprint metrics: log2-bucketed latency histograms.
+//!
+//! The lock-behaviour questions the paper asks — how long does an acquire
+//! wait, how long is the lock held, how fat is the starvation tail — need
+//! distributions, not means. [`Histogram`] gives each lock a constant-size
+//! (65 × u64) power-of-two-bucketed distribution that is cheap enough to
+//! record on every acquisition, always on, with exact count/sum/max and
+//! bucket-resolution percentiles.
+
+/// A log2-bucketed histogram of `u64` samples (cycles).
+///
+/// Bucket 0 holds the value 0; bucket `b` (1 ≤ b ≤ 63) holds values in
+/// `[2^(b-1), 2^b - 1]`; bucket 64 holds `[2^63, u64::MAX]`. Recording is
+/// a few ALU ops, so it is unconditionally enabled on simulation paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index for `v`: 0 for 0, otherwise one past the position
+    /// of the highest set bit.
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `b` can hold.
+    fn upper_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) at bucket resolution: the upper
+    /// bound of the first bucket whose cumulative count covers `p`% of the
+    /// samples, clamped to the observed maximum. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Some(Self::upper_bound(b).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nonempty buckets as `(bucket_upper_bound, count)` pairs, in
+    /// ascending bucket order (for serialization).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| (Self::upper_bound(b), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 | 1 | 2..3 | 4..7 | 8..15 | ...
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 15, 16] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 2), (31, 1)]
+        );
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 56);
+        assert_eq!(h.max(), 16);
+    }
+
+    #[test]
+    fn percentiles_hit_exact_buckets() {
+        let mut h = Histogram::new();
+        // 90 samples of 10 (bucket ..15), 9 of 100 (bucket ..127), 1 of
+        // 1000 (bucket ..1023).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(1000);
+        assert_eq!(h.percentile(50.0), Some(15));
+        assert_eq!(h.percentile(90.0), Some(15));
+        assert_eq!(h.percentile(99.0), Some(127));
+        assert_eq!(h.percentile(100.0), Some(1000), "p100 clamps to max");
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), Some((90 * 10 + 9 * 100 + 1000) as f64 / 100.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_every_percentile_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(5);
+        // Bucket upper bound is 7, but clamping to the observed max makes
+        // every percentile exact for a single sample.
+        assert_eq!(h.percentile(1.0), Some(5));
+        assert_eq!(h.percentile(50.0), Some(5));
+        assert_eq!(h.percentile(99.0), Some(5));
+    }
+
+    #[test]
+    fn extreme_values_land_in_end_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (u64::MAX, 1)]);
+        assert_eq!(h.percentile(50.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1020);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.percentile(50.0), Some(15));
+    }
+}

@@ -6,6 +6,7 @@ use nuca_topology::{CpuId, NodeId};
 
 use crate::mem::Addr;
 use crate::stats::SimStats;
+use crate::trace::{BackoffClass, SimEvent, TraceSink};
 
 /// One step a program asks the machine to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,14 +66,107 @@ pub struct CpuCtx<'a> {
     /// Current simulated time in cycles.
     pub now: u64,
     pub(crate) stats: &'a mut SimStats,
+    /// Trace sink, if the machine has one installed. Every hook guards on
+    /// this single `Option`, so untraced runs pay one branch per emission
+    /// site and nothing else.
+    pub(crate) trace: Option<&'a mut (dyn TraceSink + 'static)>,
 }
 
-impl CpuCtx<'_> {
+impl<'a> CpuCtx<'a> {
+    /// Builds a standalone context (no trace sink), for driving lock
+    /// sessions outside a [`crate::Machine`] — tests and examples.
+    pub fn new(cpu: CpuId, node: NodeId, now: u64, stats: &'a mut SimStats) -> CpuCtx<'a> {
+        CpuCtx {
+            cpu,
+            node,
+            now,
+            stats,
+            trace: None,
+        }
+    }
+
     /// Records a successful lock acquisition for the paper's node-handoff
     /// statistics (Figs. 3 and 5, right panels). `lock` is a workload-
     /// chosen dense index.
     pub fn record_acquire(&mut self, lock: usize) {
         self.stats.record_acquire(lock, self.node);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(
+                self.now,
+                SimEvent::LockAcquire {
+                    lock,
+                    cpu: self.cpu,
+                    node: self.node,
+                },
+            );
+        }
+    }
+
+    /// Records how long an acquisition waited (cycles from the first
+    /// acquire step to success) into the lock's time-to-acquire histogram.
+    pub fn record_acquire_latency(&mut self, lock: usize, cycles: u64) {
+        self.stats.record_wait(lock, cycles);
+    }
+
+    /// Records the start of a release: `held` cycles go into the lock's
+    /// hold-time histogram, and a `LockRelease` event is traced.
+    pub fn record_release(&mut self, lock: usize, held: u64) {
+        self.stats.record_hold(lock, held);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(
+                self.now,
+                SimEvent::LockRelease {
+                    lock,
+                    cpu: self.cpu,
+                    node: self.node,
+                },
+            );
+        }
+    }
+
+    /// Records an HBO_GT_SD anger episode (counted always; traced when a
+    /// sink is installed).
+    pub fn record_got_angry(&mut self) {
+        self.stats.count_anger();
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(
+                self.now,
+                SimEvent::GotAngry {
+                    cpu: self.cpu,
+                    node: self.node,
+                },
+            );
+        }
+    }
+
+    /// Traces a backoff sleep of `cycles` in the given class. Pure trace:
+    /// no statistic is updated, so calling it is free when tracing is off.
+    pub fn trace_backoff(&mut self, cycles: u64, class: BackoffClass) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(
+                self.now,
+                SimEvent::BackoffSleep {
+                    cpu: self.cpu,
+                    node: self.node,
+                    cycles,
+                    class,
+                },
+            );
+        }
+    }
+
+    /// Traces an HBO_GT spin announcement (the spinner publishing itself
+    /// as eligible for throttling). Pure trace.
+    pub fn trace_throttle_spin(&mut self) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(
+                self.now,
+                SimEvent::ThrottleSpin {
+                    cpu: self.cpu,
+                    node: self.node,
+                },
+            );
+        }
     }
 }
 
@@ -118,14 +212,43 @@ mod tests {
     #[test]
     fn ctx_records_acquires() {
         let mut stats = SimStats::new();
-        let mut ctx = CpuCtx {
-            cpu: CpuId(3),
-            node: NodeId(1),
-            now: 42,
-            stats: &mut stats,
-        };
+        let mut ctx = CpuCtx::new(CpuId(3), NodeId(1), 42, &mut stats);
         ctx.record_acquire(0);
         ctx.record_acquire(0);
         assert_eq!(stats.lock_trace(0).unwrap().acquisitions, 2);
+    }
+
+    #[test]
+    fn ctx_hooks_reach_the_trace_sink() {
+        use crate::trace::EventLog;
+
+        let log = EventLog::new();
+        let mut sink = log.clone();
+        let mut stats = SimStats::new();
+        let mut ctx = CpuCtx::new(CpuId(3), NodeId(1), 42, &mut stats);
+        ctx.trace = Some(&mut sink);
+        ctx.record_acquire(0);
+        ctx.record_release(0, 17);
+        ctx.trace_backoff(100, BackoffClass::Remote);
+        ctx.record_got_angry();
+        ctx.trace_throttle_spin();
+        let events: Vec<SimEvent> = log.take().into_iter().map(|r| r.event).collect();
+        assert_eq!(
+            events,
+            vec![
+                SimEvent::LockAcquire { lock: 0, cpu: CpuId(3), node: NodeId(1) },
+                SimEvent::LockRelease { lock: 0, cpu: CpuId(3), node: NodeId(1) },
+                SimEvent::BackoffSleep {
+                    cpu: CpuId(3),
+                    node: NodeId(1),
+                    cycles: 100,
+                    class: BackoffClass::Remote,
+                },
+                SimEvent::GotAngry { cpu: CpuId(3), node: NodeId(1) },
+                SimEvent::ThrottleSpin { cpu: CpuId(3), node: NodeId(1) },
+            ]
+        );
+        assert_eq!(stats.lock_trace(0).unwrap().hold.count(), 1);
+        assert_eq!(stats.anger_episodes(), 1);
     }
 }

@@ -2,6 +2,8 @@
 
 use nuca_topology::NodeId;
 
+use crate::metrics::Histogram;
+
 /// Local/global coherence transaction counts (the paper's Tables 2 and 6
 /// report these normalized).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,13 +21,22 @@ impl TrafficCounts {
     }
 }
 
-/// Per-lock acquisition trace: acquisition count and node handoffs.
+/// Per-lock acquisition trace: acquisition count, node handoffs, and
+/// latency distributions.
 #[derive(Debug, Clone, Default)]
 pub struct LockTrace {
     /// Successful acquisitions recorded via [`crate::CpuCtx::record_acquire`].
     pub acquisitions: u64,
     /// Acquisitions whose node differed from the previous holder's.
     pub node_handoffs: u64,
+    /// Time-to-acquire distribution (cycles from the first acquire step to
+    /// success), recorded via [`crate::CpuCtx::record_acquire_latency`].
+    pub wait: Histogram,
+    /// Hold-time distribution (cycles from success to the start of the
+    /// release), recorded via [`crate::CpuCtx::record_release`].
+    pub hold: Histogram,
+    /// Acquisitions per node (index = node id; grown on demand).
+    pub node_acquires: Vec<u64>,
     last_node: Option<NodeId>,
 }
 
@@ -48,6 +59,10 @@ impl LockTrace {
             }
         }
         self.last_node = Some(node);
+        if self.node_acquires.len() <= node.index() {
+            self.node_acquires.resize(node.index() + 1, 0);
+        }
+        self.node_acquires[node.index()] += 1;
     }
 }
 
@@ -58,11 +73,15 @@ impl LockTrace {
 #[derive(Debug, Default)]
 pub struct SimStats {
     traffic: TrafficCounts,
+    /// Traffic attributed per node (index = node id; grown on demand).
+    node_traffic: Vec<TrafficCounts>,
     locks: Vec<LockTrace>,
     /// Total memory transactions that hit in the requester's cache.
     cache_hits: u64,
     /// Total preemption windows applied.
     preemptions: u64,
+    /// Total HBO_GT_SD anger episodes recorded.
+    anger_episodes: u64,
     /// Total program-resume events the engine processed.
     events: u64,
 }
@@ -75,6 +94,20 @@ impl SimStats {
     /// Coherence traffic so far.
     pub fn traffic(&self) -> TrafficCounts {
         self.traffic
+    }
+
+    /// Per-node traffic attribution (index = node id). Fetches and refills
+    /// are attributed to the requesting CPU's node; invalidations to the
+    /// node whose copy was invalidated. Nodes past the last one with
+    /// traffic are absent.
+    pub fn node_traffic(&self) -> &[TrafficCounts] {
+        &self.node_traffic
+    }
+
+    /// HBO_GT_SD anger episodes recorded so far (the paper's `GET_ANGRY`
+    /// starvation countermeasure firing).
+    pub fn anger_episodes(&self) -> u64 {
+        self.anger_episodes
     }
 
     /// Cache hits (transactions that generated no coherence traffic).
@@ -122,12 +155,26 @@ impl SimStats {
         Some(hand as f64 / acq as f64)
     }
 
-    pub(crate) fn count_local(&mut self) {
-        self.traffic.local += 1;
+    fn node_slot(&mut self, node: NodeId) -> &mut TrafficCounts {
+        if self.node_traffic.len() <= node.index() {
+            self.node_traffic
+                .resize(node.index() + 1, TrafficCounts::default());
+        }
+        &mut self.node_traffic[node.index()]
     }
 
-    pub(crate) fn count_global(&mut self) {
+    pub(crate) fn count_local(&mut self, node: NodeId) {
+        self.traffic.local += 1;
+        self.node_slot(node).local += 1;
+    }
+
+    pub(crate) fn count_global(&mut self, node: NodeId) {
         self.traffic.global += 1;
+        self.node_slot(node).global += 1;
+    }
+
+    pub(crate) fn count_anger(&mut self) {
+        self.anger_episodes += 1;
     }
 
     pub(crate) fn count_hit(&mut self) {
@@ -149,11 +196,23 @@ impl SimStats {
         std::mem::take(&mut self.locks)
     }
 
-    pub(crate) fn record_acquire(&mut self, lock: usize, node: NodeId) {
+    fn lock_slot(&mut self, lock: usize) -> &mut LockTrace {
         if self.locks.len() <= lock {
             self.locks.resize_with(lock + 1, LockTrace::default);
         }
-        self.locks[lock].record(node);
+        &mut self.locks[lock]
+    }
+
+    pub(crate) fn record_acquire(&mut self, lock: usize, node: NodeId) {
+        self.lock_slot(lock).record(node);
+    }
+
+    pub(crate) fn record_wait(&mut self, lock: usize, cycles: u64) {
+        self.lock_slot(lock).wait.record(cycles);
+    }
+
+    pub(crate) fn record_hold(&mut self, lock: usize, cycles: u64) {
+        self.lock_slot(lock).hold.record(cycles);
     }
 }
 
@@ -164,11 +223,29 @@ mod tests {
     #[test]
     fn traffic_totals() {
         let mut s = SimStats::new();
-        s.count_local();
-        s.count_local();
-        s.count_global();
+        s.count_local(NodeId(0));
+        s.count_local(NodeId(1));
+        s.count_global(NodeId(1));
         assert_eq!(s.traffic(), TrafficCounts { local: 2, global: 1 });
         assert_eq!(s.traffic().total(), 3);
+    }
+
+    #[test]
+    fn traffic_is_attributed_per_node() {
+        let mut s = SimStats::new();
+        s.count_local(NodeId(0));
+        s.count_local(NodeId(1));
+        s.count_global(NodeId(1));
+        assert_eq!(
+            s.node_traffic(),
+            &[
+                TrafficCounts { local: 1, global: 0 },
+                TrafficCounts { local: 1, global: 1 },
+            ]
+        );
+        // Per-node counts always sum to the aggregate.
+        let sum: u64 = s.node_traffic().iter().map(TrafficCounts::total).sum();
+        assert_eq!(sum, s.traffic().total());
     }
 
     #[test]
@@ -212,5 +289,82 @@ mod tests {
             s.record_acquire(1, NodeId(n));
         }
         assert_eq!(s.aggregate_handoff_ratio(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn handoff_ratio_zero_acquisitions() {
+        let t = LockTrace::default();
+        assert_eq!(t.acquisitions, 0);
+        assert_eq!(t.handoff_ratio(), None);
+    }
+
+    #[test]
+    fn aggregate_ratio_none_when_empty_or_single() {
+        let s = SimStats::new();
+        assert_eq!(s.aggregate_handoff_ratio(), None, "no locks at all");
+
+        let mut s = SimStats::new();
+        s.record_acquire(0, NodeId(0));
+        assert_eq!(
+            s.aggregate_handoff_ratio(),
+            None,
+            "one acquisition has no handover opportunity"
+        );
+    }
+
+    #[test]
+    fn aggregate_ratio_single_lock_matches_per_lock() {
+        let mut s = SimStats::new();
+        for n in [0, 1, 1, 0] {
+            s.record_acquire(0, NodeId(n));
+        }
+        assert_eq!(
+            s.aggregate_handoff_ratio(),
+            s.lock_trace(0).unwrap().handoff_ratio()
+        );
+    }
+
+    #[test]
+    fn aggregate_ratio_ignores_single_acquisition_locks() {
+        let mut s = SimStats::new();
+        // Lock 0: 1 acquisition — no handover opportunity, must not count
+        // toward the denominator.
+        s.record_acquire(0, NodeId(0));
+        // Lock 1: 3 acquisitions, 2 handoffs.
+        for n in [0, 1, 0] {
+            s.record_acquire(1, NodeId(n));
+        }
+        assert_eq!(s.aggregate_handoff_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn per_node_acquisitions_recorded() {
+        let mut s = SimStats::new();
+        for n in [0, 0, 1, 0] {
+            s.record_acquire(0, NodeId(n));
+        }
+        assert_eq!(s.lock_trace(0).unwrap().node_acquires, vec![3, 1]);
+    }
+
+    #[test]
+    fn wait_and_hold_histograms_accumulate() {
+        let mut s = SimStats::new();
+        s.record_wait(0, 100);
+        s.record_wait(0, 200);
+        s.record_hold(0, 50);
+        let t = s.lock_trace(0).unwrap();
+        assert_eq!(t.wait.count(), 2);
+        assert_eq!(t.wait.max(), 200);
+        assert_eq!(t.hold.count(), 1);
+        assert_eq!(t.acquisitions, 0, "histograms do not imply acquisitions");
+    }
+
+    #[test]
+    fn anger_episodes_count() {
+        let mut s = SimStats::new();
+        assert_eq!(s.anger_episodes(), 0);
+        s.count_anger();
+        s.count_anger();
+        assert_eq!(s.anger_episodes(), 2);
     }
 }

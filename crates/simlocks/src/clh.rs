@@ -2,7 +2,7 @@
 
 use hbo_locks::LockKind;
 use nuca_topology::{CpuId, NodeId, Topology};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimLock, Step};
 
@@ -79,13 +79,13 @@ struct ClhSession {
 }
 
 impl LockSession for ClhSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, ClhState::Idle);
         self.state = ClhState::SetLocked;
         Step::Op(Command::Write(self.nodes[self.mine], LOCKED))
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, _ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             ClhState::SetLocked => {
                 self.state = ClhState::Swapped;
@@ -112,13 +112,13 @@ impl LockSession for ClhSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, ClhState::Holding);
         self.state = ClhState::Releasing;
         Step::Op(Command::Write(self.nodes[self.mine], UNLOCKED))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, ClhState::Releasing);
         // Adopt the predecessor's (now quiescent) node for the next
         // acquisition.

@@ -2,7 +2,7 @@
 
 use hbo_locks::{BackoffConfig, LockKind};
 use nuca_topology::{CpuId, NodeId};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimBackoff, SimLock, Step};
 
@@ -98,26 +98,30 @@ impl HboSession {
     }
 
     /// `start:` — classify by the last observed holder tag.
-    fn classify(&mut self, tmp: u64) -> Step {
-        if tmp == self.my_tag {
+    fn classify(&mut self, ctx: &mut CpuCtx<'_>, tmp: u64) -> Step {
+        let class = if tmp == self.my_tag {
             self.backoff.reset(self.local);
             self.state = HboState::LocalDelay;
+            BackoffClass::Local
         } else {
             self.backoff.reset(self.remote);
             self.state = HboState::RemoteDelay;
-        }
-        Step::Op(Command::Delay(self.backoff.next_delay()))
+            BackoffClass::Remote
+        };
+        let d = self.backoff.next_delay();
+        ctx.trace_backoff(d, class);
+        Step::Op(Command::Delay(d))
     }
 }
 
 impl LockSession for HboSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, HboState::Idle);
         self.state = HboState::FastCas;
         Step::Op(self.cas())
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             HboState::FastCas => {
                 let tmp = result.expect("cas returns old");
@@ -125,7 +129,7 @@ impl LockSession for HboSession {
                     self.state = HboState::Holding;
                     Step::Acquired
                 } else {
-                    self.classify(tmp)
+                    self.classify(ctx, tmp)
                 }
             }
             HboState::LocalDelay => {
@@ -141,18 +145,24 @@ impl LockSession for HboSession {
                 if tmp == self.my_tag {
                     // Still local: keep the eager loop going.
                     self.state = HboState::LocalDelay;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 } else {
                     // Migrated to a remote node: extra backoff, then
                     // re-classify (lines 31–33).
                     self.state = HboState::MigratePause;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 }
             }
             HboState::MigratePause => {
                 self.backoff.reset(self.remote);
                 self.state = HboState::RemoteDelay;
-                Step::Op(Command::Delay(self.backoff.next_delay()))
+                let d = self.backoff.next_delay();
+                ctx.trace_backoff(d, BackoffClass::Remote);
+                Step::Op(Command::Delay(d))
             }
             HboState::RemoteDelay => {
                 self.state = HboState::RemoteCas;
@@ -166,23 +176,25 @@ impl LockSession for HboSession {
                 }
                 if tmp == self.my_tag {
                     // Lock moved into our node: switch to eager spinning.
-                    self.classify(tmp)
+                    self.classify(ctx, tmp)
                 } else {
                     self.state = HboState::RemoteDelay;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Remote);
+                    Step::Op(Command::Delay(d))
                 }
             }
             s => unreachable!("resume_acquire in state {s:?}"),
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, HboState::Holding);
         self.state = HboState::Releasing;
         Step::Op(Command::Write(self.word, FREE))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, HboState::Releasing);
         self.state = HboState::Idle;
         Step::Released

@@ -2,7 +2,7 @@
 
 use hbo_locks::{BackoffConfig, LockKind};
 use nuca_topology::{CpuId, NodeId};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
 use crate::hbo::{tag, FREE};
 use crate::{GtSlots, LockSession, SimBackoff, SimLock, Step};
@@ -114,27 +114,30 @@ impl HboGtSession {
     }
 
     /// `start:` — classify by holder tag.
-    fn classify(&mut self, tmp: u64) -> Step {
+    fn classify(&mut self, ctx: &mut CpuCtx<'_>, tmp: u64) -> Step {
         if tmp == self.my_tag {
             self.backoff.reset(self.local);
             self.state = GtState::LocalDelay;
-            Step::Op(Command::Delay(self.backoff.next_delay()))
+            let d = self.backoff.next_delay();
+            ctx.trace_backoff(d, BackoffClass::Local);
+            Step::Op(Command::Delay(d))
         } else {
             // Remote: publish the throttle before spinning (line 39).
             self.backoff.reset(self.remote);
             self.state = GtState::Announce;
+            ctx.trace_throttle_spin();
             Step::Op(Command::Write(self.my_slot, self.word.encode()))
         }
     }
 }
 
 impl LockSession for HboGtSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, GtState::Idle);
         self.gate()
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             GtState::Gate => {
                 self.state = GtState::GateCas;
@@ -146,7 +149,7 @@ impl LockSession for HboGtSession {
                     self.state = GtState::Holding;
                     Step::Acquired
                 } else {
-                    self.classify(tmp)
+                    self.classify(ctx, tmp)
                 }
             }
             GtState::LocalDelay => {
@@ -161,10 +164,14 @@ impl LockSession for HboGtSession {
                 }
                 if tmp == self.my_tag {
                     self.state = GtState::LocalDelay;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 } else {
                     self.state = GtState::MigratePause;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 }
             }
             GtState::MigratePause => {
@@ -173,7 +180,9 @@ impl LockSession for HboGtSession {
             }
             GtState::Announce => {
                 self.state = GtState::RemoteDelay;
-                Step::Op(Command::Delay(self.backoff.next_delay()))
+                let d = self.backoff.next_delay();
+                ctx.trace_backoff(d, BackoffClass::Remote);
+                Step::Op(Command::Delay(d))
             }
             GtState::RemoteDelay => {
                 self.state = GtState::RemoteCas;
@@ -191,7 +200,9 @@ impl LockSession for HboGtSession {
                     Step::Op(Command::Write(self.my_slot, DUMMY))
                 } else {
                     self.state = GtState::RemoteDelay;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Remote);
+                    Step::Op(Command::Delay(d))
                 }
             }
             GtState::ClearThenAcquired => {
@@ -203,13 +214,13 @@ impl LockSession for HboGtSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, GtState::Holding);
         self.state = GtState::Releasing;
         Step::Op(Command::Write(self.word, FREE))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, GtState::Releasing);
         self.state = GtState::Idle;
         Step::Released

@@ -2,7 +2,7 @@
 
 use hbo_locks::{BackoffConfig, LockKind};
 use nuca_topology::{CpuId, NodeId};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
 use crate::hbo::{tag, FREE};
 use crate::hbo_gt::DUMMY;
@@ -137,15 +137,18 @@ impl SdSession {
         self.gt.slot(self.my_node)
     }
 
-    fn classify(&mut self, tmp: u64) -> Step {
+    fn classify(&mut self, ctx: &mut CpuCtx<'_>, tmp: u64) -> Step {
         if tmp == self.my_tag {
             self.backoff.reset(self.local);
             self.state = SdState::LocalDelay;
-            Step::Op(Command::Delay(self.backoff.next_delay()))
+            let d = self.backoff.next_delay();
+            ctx.trace_backoff(d, BackoffClass::Local);
+            Step::Op(Command::Delay(d))
         } else {
             self.backoff.reset(self.remote);
             self.get_angry = 0;
             self.state = SdState::Announce;
+            ctx.trace_throttle_spin();
             Step::Op(Command::Write(self.my_slot(), self.word.encode()))
         }
     }
@@ -178,13 +181,13 @@ impl SdSession {
 }
 
 impl LockSession for SdSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, SdState::Idle);
         self.get_angry = 0;
         self.gate()
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             SdState::Gate => {
                 self.state = SdState::GateCas;
@@ -196,7 +199,7 @@ impl LockSession for SdSession {
                     self.state = SdState::Holding;
                     Step::Acquired
                 } else {
-                    self.classify(tmp)
+                    self.classify(ctx, tmp)
                 }
             }
             SdState::LocalDelay => {
@@ -211,16 +214,22 @@ impl LockSession for SdSession {
                 }
                 if tmp == self.my_tag {
                     self.state = SdState::LocalDelay;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 } else {
                     self.state = SdState::MigratePause;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 }
             }
             SdState::MigratePause => self.gate(),
             SdState::Announce => {
                 self.state = SdState::RemoteDelay;
-                Step::Op(Command::Delay(self.backoff.next_delay()))
+                let d = self.backoff.next_delay();
+                ctx.trace_backoff(d, BackoffClass::Remote);
+                Step::Op(Command::Delay(d))
             }
             SdState::RemoteDelay => {
                 self.state = SdState::RemoteCas;
@@ -239,6 +248,7 @@ impl LockSession for SdSession {
                 // Fig. 2 lines 57–63: still remote — get angrier.
                 self.get_angry += 1;
                 if self.get_angry.is_multiple_of(self.limit) {
+                    ctx.record_got_angry();
                     // Measure 1: spin more frequently.
                     self.backoff.reset(self.local);
                     // Measure 2: stop the observed holder node.
@@ -253,24 +263,28 @@ impl LockSession for SdSession {
                     }
                 }
                 self.state = SdState::RemoteDelay;
-                Step::Op(Command::Delay(self.backoff.next_delay()))
+                let d = self.backoff.next_delay();
+                ctx.trace_backoff(d, BackoffClass::Remote);
+                Step::Op(Command::Delay(d))
             }
             SdState::StopNode => {
                 self.state = SdState::RemoteDelay;
-                Step::Op(Command::Delay(self.backoff.next_delay()))
+                let d = self.backoff.next_delay();
+                ctx.trace_backoff(d, BackoffClass::Remote);
+                Step::Op(Command::Delay(d))
             }
             SdState::Clearing => self.continue_clears(),
             s => unreachable!("resume_acquire in state {s:?}"),
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, SdState::Holding);
         self.state = SdState::Releasing;
         Step::Op(Command::Write(self.word, FREE))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, SdState::Releasing);
         self.state = SdState::Idle;
         Step::Released

@@ -9,7 +9,7 @@
 
 use hbo_locks::LevelBackoff;
 use nuca_topology::{CpuId, NodeId, Topology};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimBackoff, SimLock, Step};
 
@@ -109,7 +109,7 @@ impl HierSession {
 
     /// Classifies the holder (by CPU tag) and re-arms the backoff if the
     /// distance class changed.
-    fn classify(&mut self, tmp: u64) -> Step {
+    fn classify(&mut self, ctx: &mut CpuCtx<'_>, tmp: u64) -> Step {
         let holder = CpuId((tmp - 1) as usize);
         let d = self.topo.distance(self.me, holder).max(1);
         if d != self.distance || self.state == HierState::FastCas {
@@ -117,18 +117,27 @@ impl HierSession {
             self.backoff.reset(*self.table.config(d));
         }
         self.state = HierState::Delay;
-        Step::Op(Command::Delay(self.backoff.next_delay()))
+        let delay = self.backoff.next_delay();
+        // The innermost distance class is "local" in the two-level sense;
+        // everything further is reported as remote backoff.
+        let class = if self.distance <= 1 {
+            BackoffClass::Local
+        } else {
+            BackoffClass::Remote
+        };
+        ctx.trace_backoff(delay, class);
+        Step::Op(Command::Delay(delay))
     }
 }
 
 impl LockSession for HierSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, HierState::Idle);
         self.state = HierState::FastCas;
         Step::Op(self.cas())
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             HierState::FastCas | HierState::LoopCas => {
                 let tmp = result.expect("cas returns old");
@@ -136,7 +145,7 @@ impl LockSession for HierSession {
                     self.state = HierState::Holding;
                     Step::Acquired
                 } else {
-                    self.classify(tmp)
+                    self.classify(ctx, tmp)
                 }
             }
             HierState::Delay => {
@@ -147,13 +156,13 @@ impl LockSession for HierSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, HierState::Holding);
         self.state = HierState::Releasing;
         Step::Op(Command::Write(self.word, FREE))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, HierState::Releasing);
         self.state = HierState::Idle;
         Step::Released

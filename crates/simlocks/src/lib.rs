@@ -60,7 +60,7 @@ use std::sync::Arc;
 
 use hbo_locks::{BackoffConfig, LockKind};
 use nuca_topology::{CpuId, NodeId, Topology};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, Command, CpuCtx, MemorySystem};
 
 pub use clh::SimClh;
 pub use driver::{DriveResult, SessionDriver};
@@ -96,16 +96,19 @@ pub enum Step {
 /// * Drive acquisition with [`start_acquire`](LockSession::start_acquire)
 ///   then [`resume_acquire`](LockSession::resume_acquire) until
 ///   [`Step::Acquired`]; drive release analogously. Phases must alternate.
+/// * Every step receives the executing CPU's [`CpuCtx`], through which the
+///   state machines report observability events (backoff sleeps, throttle
+///   announcements, anger episodes) — free when no trace sink is installed.
 pub trait LockSession: fmt::Debug {
     /// Begins an acquisition.
-    fn start_acquire(&mut self) -> Step;
+    fn start_acquire(&mut self, ctx: &mut CpuCtx<'_>) -> Step;
     /// Continues an acquisition with the result of the previous command
     /// (`None` after a `Delay`).
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step;
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step;
     /// Begins a release.
-    fn start_release(&mut self) -> Step;
+    fn start_release(&mut self, ctx: &mut CpuCtx<'_>) -> Step;
     /// Continues a release.
-    fn resume_release(&mut self, result: Option<u64>) -> Step;
+    fn resume_release(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step;
 }
 
 /// A lock instance living in simulated memory; a factory for sessions.

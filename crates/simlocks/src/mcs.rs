@@ -2,7 +2,7 @@
 
 use hbo_locks::LockKind;
 use nuca_topology::{CpuId, NodeId, Topology};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimLock, Step};
 
@@ -96,13 +96,13 @@ impl McsSession {
 }
 
 impl LockSession for McsSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, McsState::Idle);
         self.state = McsState::InitLocked;
         Step::Op(Command::Write(self.my_locked(), QUEUED))
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, _ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             McsState::InitLocked => {
                 self.state = McsState::InitNext;
@@ -141,13 +141,13 @@ impl LockSession for McsSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, McsState::Holding);
         self.state = McsState::ReadNext;
         Step::Op(Command::Read(self.my_next()))
     }
 
-    fn resume_release(&mut self, result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             McsState::ReadNext => {
                 let next = result.expect("read returns value");

@@ -2,7 +2,7 @@
 
 use hbo_locks::{BackoffConfig, LockKind};
 use nuca_topology::{CpuId, NodeId, Topology};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimBackoff, SimLock, Step};
 
@@ -155,14 +155,14 @@ impl RhSession {
 }
 
 impl LockSession for RhSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, RhState::Idle);
         self.backoff.reset(self.local);
         self.failures = 0;
         self.try_free()
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             RhState::TryFree => {
                 let old = result.expect("cas returns old");
@@ -191,7 +191,9 @@ impl LockSession for RhSession {
                     _ => {
                         // HELD or FISHING: a neighbor owns/fetches it.
                         self.state = RhState::LocalPause;
-                        Step::Op(Command::Delay(self.backoff.next_delay()))
+                        let d = self.backoff.next_delay();
+                        ctx.trace_backoff(d, BackoffClass::Local);
+                        Step::Op(Command::Delay(d))
                     }
                 }
             }
@@ -252,11 +254,15 @@ impl LockSession for RhSession {
                     // after a pause.
                     self.failures = 0;
                     self.state = RhState::FishPause;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Remote);
+                    Step::Op(Command::Delay(d))
                 } else {
                     self.failures += 1;
                     self.state = RhState::FishPause;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Remote);
+                    Step::Op(Command::Delay(d))
                 }
             }
             RhState::FishPause => self.fish(),
@@ -272,13 +278,13 @@ impl LockSession for RhSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, RhState::Holding);
         self.state = RhState::ReadHandovers;
         Step::Op(Command::Read(self.handovers))
     }
 
-    fn resume_release(&mut self, result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             RhState::ReadHandovers => {
                 let h = result.expect("read returns value");

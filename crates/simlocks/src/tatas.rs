@@ -2,7 +2,7 @@
 
 use hbo_locks::{BackoffConfig, LockKind};
 use nuca_topology::{CpuId, NodeId};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimBackoff, SimLock, Step};
 
@@ -58,13 +58,13 @@ struct TatasSession {
 }
 
 impl LockSession for TatasSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, TatasState::Idle);
         self.state = TatasState::TasIssued;
         Step::Op(Command::Tas(self.word))
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, _ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             TatasState::TasIssued => {
                 if result == Some(FREE) {
@@ -89,13 +89,13 @@ impl LockSession for TatasSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, TatasState::Holding);
         self.state = TatasState::Releasing;
         Step::Op(Command::Write(self.word, FREE))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, TatasState::Releasing);
         self.state = TatasState::Idle;
         Step::Released
@@ -158,14 +158,14 @@ struct TatasExpSession {
 }
 
 impl LockSession for TatasExpSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, ExpState::Idle);
         self.backoff.reset(self.cfg);
         self.state = ExpState::TasIssued;
         Step::Op(Command::Tas(self.word))
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             ExpState::TasIssued => {
                 if result == Some(FREE) {
@@ -173,7 +173,9 @@ impl LockSession for TatasExpSession {
                     Step::Acquired
                 } else {
                     self.state = ExpState::Delaying;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 }
             }
             ExpState::Delaying => {
@@ -186,20 +188,22 @@ impl LockSession for TatasExpSession {
                     Step::Op(Command::Tas(self.word))
                 } else {
                     self.state = ExpState::Delaying;
-                    Step::Op(Command::Delay(self.backoff.next_delay()))
+                    let d = self.backoff.next_delay();
+                    ctx.trace_backoff(d, BackoffClass::Local);
+                    Step::Op(Command::Delay(d))
                 }
             }
             s => unreachable!("resume_acquire in state {s:?}"),
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, ExpState::Holding);
         self.state = ExpState::Releasing;
         Step::Op(Command::Write(self.word, FREE))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, ExpState::Releasing);
         self.state = ExpState::Idle;
         Step::Released

@@ -36,7 +36,6 @@ impl ExclusionProgram {
         match r {
             DriveResult::Busy(cmd) => cmd,
             DriveResult::AcquireDone => {
-                ctx.record_acquire(0);
                 self.state = ExState::CsRead;
                 Command::Read(self.counter)
             }
@@ -60,11 +59,11 @@ impl Program for ExclusionProgram {
                     }
                     self.iters -= 1;
                     self.state = ExState::Acquiring;
-                    let r = self.driver.start_acquire();
+                    let r = self.driver.start_acquire(ctx);
                     return self.drive(r, ctx);
                 }
                 ExState::Acquiring => {
-                    let r = self.driver.on_result(last);
+                    let r = self.driver.on_result(ctx, last);
                     return self.drive(r, ctx);
                 }
                 ExState::CsRead => {
@@ -78,11 +77,11 @@ impl Program for ExclusionProgram {
                 }
                 ExState::CsWrite => {
                     self.state = ExState::Releasing;
-                    let r = self.driver.start_release();
+                    let r = self.driver.start_release(ctx);
                     return self.drive(r, ctx);
                 }
                 ExState::Releasing => {
-                    let r = self.driver.on_result(last);
+                    let r = self.driver.on_result(ctx, last);
                     return self.drive(r, ctx);
                 }
                 ExState::Think => {
@@ -174,12 +173,12 @@ enum TurnState {
 }
 
 impl TurnProgram {
-    fn drive(&mut self, r: DriveResult, now: u64) -> Command {
+    fn drive(&mut self, r: DriveResult, ctx: &mut CpuCtx<'_>) -> Command {
         match r {
             DriveResult::Busy(cmd) => cmd,
             DriveResult::AcquireDone => {
                 self.state = TurnState::Releasing;
-                match self.driver.start_release() {
+                match self.driver.start_release(ctx) {
                     DriveResult::Busy(cmd) => cmd,
                     _ => unreachable!("release begins with a command"),
                 }
@@ -188,7 +187,7 @@ impl TurnProgram {
                 self.pairs -= 1;
                 if self.pairs == 0 {
                     self.state = TurnState::WriteOut;
-                    Command::Write(self.out, now - self.started_at)
+                    Command::Write(self.out, ctx.now - self.started_at)
                 } else {
                     self.state = TurnState::Begin;
                     Command::Delay(1)
@@ -219,12 +218,12 @@ impl Program for TurnProgram {
                 }
                 self.started_at = ctx.now;
                 self.state = TurnState::Acquiring;
-                let r = self.driver.start_acquire();
-                self.drive(r, ctx.now)
+                let r = self.driver.start_acquire(ctx);
+                self.drive(r, ctx)
             }
             TurnState::Acquiring | TurnState::Releasing => {
-                let r = self.driver.on_result(last);
-                self.drive(r, ctx.now)
+                let r = self.driver.on_result(ctx, last);
+                self.drive(r, ctx)
             }
             TurnState::WriteOut => {
                 self.state = TurnState::BumpBaton;

@@ -9,7 +9,7 @@
 
 use hbo_locks::LockKind;
 use nuca_topology::{CpuId, NodeId};
-use nucasim::{Addr, Command, MemorySystem};
+use nucasim::{Addr, Command, CpuCtx, MemorySystem};
 
 use crate::{LockSession, SimLock, Step};
 
@@ -69,7 +69,7 @@ struct TicketSession {
 }
 
 impl LockSession for TicketSession {
-    fn start_acquire(&mut self) -> Step {
+    fn start_acquire(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, TkState::Idle);
         self.state = TkState::TakeTicket;
         Step::Op(Command::FetchAdd {
@@ -78,7 +78,7 @@ impl LockSession for TicketSession {
         })
     }
 
-    fn resume_acquire(&mut self, result: Option<u64>) -> Step {
+    fn resume_acquire(&mut self, _ctx: &mut CpuCtx<'_>, result: Option<u64>) -> Step {
         match self.state {
             TkState::TakeTicket => {
                 self.my_ticket = result.expect("fetch_add returns old");
@@ -104,13 +104,13 @@ impl LockSession for TicketSession {
         }
     }
 
-    fn start_release(&mut self) -> Step {
+    fn start_release(&mut self, _ctx: &mut CpuCtx<'_>) -> Step {
         debug_assert_eq!(self.state, TkState::Holding);
         self.state = TkState::Releasing;
         Step::Op(Command::Write(self.now_serving, self.my_ticket + 1))
     }
 
-    fn resume_release(&mut self, _result: Option<u64>) -> Step {
+    fn resume_release(&mut self, _ctx: &mut CpuCtx<'_>, _result: Option<u64>) -> Step {
         debug_assert_eq!(self.state, TkState::Releasing);
         self.state = TkState::Idle;
         Step::Released
@@ -142,15 +142,14 @@ mod tests {
                     }
                     self.iters -= 1;
                     self.state = 1;
-                    match self.driver.start_acquire() {
+                    match self.driver.start_acquire(ctx) {
                         DriveResult::Busy(cmd) => cmd,
                         _ => unreachable!(),
                     }
                 }
-                1 => match self.driver.on_result(last) {
+                1 => match self.driver.on_result(ctx, last) {
                     DriveResult::Busy(cmd) => cmd,
                     DriveResult::AcquireDone => {
-                        ctx.record_acquire(0);
                         self.state = 2;
                         Command::Read(self.counter)
                     }
@@ -163,12 +162,12 @@ mod tests {
                 }
                 3 => {
                     self.state = 4;
-                    match self.driver.start_release() {
+                    match self.driver.start_release(ctx) {
                         DriveResult::Busy(cmd) => cmd,
                         _ => unreachable!(),
                     }
                 }
-                4 => match self.driver.on_result(last) {
+                4 => match self.driver.on_result(ctx, last) {
                     DriveResult::Busy(cmd) => cmd,
                     DriveResult::ReleaseDone => {
                         self.state = 0;

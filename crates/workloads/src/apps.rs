@@ -295,7 +295,6 @@ impl AppProgram {
         match r {
             DriveResult::Busy(cmd) => cmd,
             DriveResult::AcquireDone => {
-                ctx.record_acquire(self.current);
                 self.state = State::Cs { line: 0 };
                 Command::Write(self.data[self.current][0], ctx.now)
             }
@@ -326,11 +325,11 @@ impl Program for AppProgram {
                     self.phase_left -= 1;
                     self.current = self.pick_lock();
                     self.state = State::Acquiring;
-                    let r = self.drivers[self.current].start_acquire();
+                    let r = self.drivers[self.current].start_acquire(ctx);
                     return self.drive(r, ctx);
                 }
                 State::Acquiring => {
-                    let r = self.drivers[self.current].on_result(last);
+                    let r = self.drivers[self.current].on_result(ctx, last);
                     return self.drive(r, ctx);
                 }
                 State::Cs { line } => {
@@ -340,11 +339,11 @@ impl Program for AppProgram {
                         return Command::Write(self.data[self.current][next as usize], ctx.now);
                     }
                     self.state = State::Releasing;
-                    let r = self.drivers[self.current].start_release();
+                    let r = self.drivers[self.current].start_release(ctx);
                     return self.drive(r, ctx);
                 }
                 State::Releasing => {
-                    let r = self.drivers[self.current].on_result(last);
+                    let r = self.drivers[self.current].on_result(ctx, last);
                     return self.drive(r, ctx);
                 }
                 State::Think => {
@@ -424,7 +423,8 @@ pub fn run_app(model: &AppModel, cfg: &AppRunConfig) -> AppReport {
         let node = topo.node_of(cpu);
         let drivers = locks
             .iter()
-            .map(|l| SessionDriver::new(l.session(cpu, node)))
+            .enumerate()
+            .map(|(i, l)| SessionDriver::new(l.session(cpu, node)).with_lock_index(i))
             .collect();
         machine.add_program(
             cpu,

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use hbo_locks::LockKind;
 use nuca_topology::NodeId;
 use nucasim::{
-    Addr, Command, CpuCtx, Machine, MachineConfig, MemorySystem, Program, SimReport, SplitMix64,
+    Addr, Command, CpuCtx, EventLog, Machine, MachineConfig, MemorySystem, Program, SimReport,
+    SplitMix64, TraceRecord,
 };
 use nuca_topology::Topology;
 use nucasim_locks::{build_lock, DriveResult, GtSlots, SessionDriver, SimLock, SimLockParams};
@@ -108,7 +109,6 @@ impl ModernProgram {
         match r {
             DriveResult::Busy(cmd) => cmd,
             DriveResult::AcquireDone => {
-                ctx.record_acquire(0);
                 if self.cs_line_count == 0 {
                     self.state = State::Releasing;
                     return self.release(ctx);
@@ -124,7 +124,7 @@ impl ModernProgram {
     }
 
     fn release(&mut self, ctx: &mut CpuCtx<'_>) -> Command {
-        let r = self.driver.start_release();
+        let r = self.driver.start_release(ctx);
         self.drive(r, ctx)
     }
 }
@@ -147,11 +147,11 @@ impl Program for ModernProgram {
                     }
                     self.iterations -= 1;
                     self.state = State::Acquiring;
-                    let r = self.driver.start_acquire();
+                    let r = self.driver.start_acquire(ctx);
                     return self.drive(r, ctx);
                 }
                 State::Acquiring => {
-                    let r = self.driver.on_result(last);
+                    let r = self.driver.on_result(ctx, last);
                     return self.drive(r, ctx);
                 }
                 State::CsWork { line } => {
@@ -164,7 +164,7 @@ impl Program for ModernProgram {
                     return self.release(ctx);
                 }
                 State::Releasing => {
-                    let r = self.driver.on_result(last);
+                    let r = self.driver.on_result(ctx, last);
                     return self.drive(r, ctx);
                 }
                 State::StaticWork => {
@@ -204,6 +204,21 @@ pub fn run_modern_raw(cfg: &ModernConfig) -> (SimReport, Vec<Addr>) {
     })
 }
 
+/// Like [`run_modern_raw`] but with a trace sink installed for the whole
+/// run: every lock acquisition/release, backoff sleep, coherence
+/// transaction, throttle announcement, anger episode, and preemption is
+/// captured as a timestamped [`TraceRecord`]. The simulated run itself is
+/// unchanged — tracing only observes.
+pub fn run_modern_traced(cfg: &ModernConfig) -> (SimReport, Vec<TraceRecord>) {
+    let log = EventLog::new();
+    let (report, _) = run_modern_inner(
+        cfg,
+        &|mem, topo, gt| build_lock(cfg.kind, mem, topo, gt, NodeId(0), &cfg.params),
+        Some(log.clone()),
+    );
+    (report, log.take())
+}
+
 /// Lock factory signature for [`run_modern_with`]: builds the lock under
 /// test in the machine's memory.
 pub type LockFactory<'a> =
@@ -213,7 +228,18 @@ pub type LockFactory<'a> =
 /// HBO extension, which is not one of the paper's eight
 /// [`LockKind`]s). `cfg.kind` is used only for labeling.
 pub fn run_modern_with(cfg: &ModernConfig, factory: &LockFactory<'_>) -> (SimReport, Vec<Addr>) {
+    run_modern_inner(cfg, factory, None)
+}
+
+fn run_modern_inner(
+    cfg: &ModernConfig,
+    factory: &LockFactory<'_>,
+    trace: Option<EventLog>,
+) -> (SimReport, Vec<Addr>) {
     let mut machine = Machine::new(cfg.machine.clone());
+    if let Some(sink) = trace {
+        machine.set_trace_sink(Box::new(sink));
+    }
     let topo = Arc::clone(machine.topology());
     assert!(
         cfg.threads <= topo.num_cpus(),

@@ -74,11 +74,10 @@ struct TraditionalProgram {
 }
 
 impl TraditionalProgram {
-    fn drive(&mut self, r: DriveResult, ctx: &mut CpuCtx<'_>) -> Command {
+    fn drive(&mut self, r: DriveResult, _ctx: &mut CpuCtx<'_>) -> Command {
         match r {
             DriveResult::Busy(cmd) => cmd,
             DriveResult::AcquireDone => {
-                ctx.record_acquire(0);
                 self.state = State::SetOwner;
                 Command::Write(self.last_owner, self.me)
             }
@@ -117,20 +116,20 @@ impl Program for TraditionalProgram {
                 }
                 self.iterations -= 1;
                 self.state = State::Acquiring;
-                let r = self.driver.start_acquire();
+                let r = self.driver.start_acquire(ctx);
                 self.drive(r, ctx)
             }
             State::Acquiring => {
-                let r = self.driver.on_result(last);
+                let r = self.driver.on_result(ctx, last);
                 self.drive(r, ctx)
             }
             State::SetOwner => {
                 self.state = State::Releasing;
-                let r = self.driver.start_release();
+                let r = self.driver.start_release(ctx);
                 self.drive(r, ctx)
             }
             State::Releasing => {
-                let r = self.driver.on_result(last);
+                let r = self.driver.on_result(ctx, last);
                 self.drive(r, ctx)
             }
             State::CheckOwner => {

@@ -47,12 +47,12 @@ struct TurnProgram {
 }
 
 impl TurnProgram {
-    fn drive(&mut self, r: DriveResult, now: u64) -> Command {
+    fn drive(&mut self, r: DriveResult, ctx: &mut CpuCtx<'_>) -> Command {
         match r {
             DriveResult::Busy(cmd) => cmd,
             DriveResult::AcquireDone => {
                 self.state = State::Releasing;
-                match self.driver.start_release() {
+                match self.driver.start_release(ctx) {
                     DriveResult::Busy(cmd) => cmd,
                     _ => unreachable!("release begins with a command"),
                 }
@@ -61,7 +61,7 @@ impl TurnProgram {
                 self.pairs -= 1;
                 if self.pairs == 0 {
                     self.state = State::WriteOut;
-                    Command::Write(self.out, now - self.started_at)
+                    Command::Write(self.out, ctx.now - self.started_at)
                 } else {
                     self.state = State::Check;
                     Command::Delay(1)
@@ -70,11 +70,11 @@ impl TurnProgram {
         }
     }
 
-    fn begin_pair(&mut self, now: u64) -> Command {
-        self.started_at = now;
+    fn begin_pair(&mut self, ctx: &mut CpuCtx<'_>) -> Command {
+        self.started_at = ctx.now;
         self.state = State::Acquiring;
-        let r = self.driver.start_acquire();
-        self.drive(r, now)
+        let r = self.driver.start_acquire(ctx);
+        self.drive(r, ctx)
     }
 }
 
@@ -99,11 +99,11 @@ impl Program for TurnProgram {
                         };
                     }
                 }
-                self.begin_pair(ctx.now)
+                self.begin_pair(ctx)
             }
             State::Acquiring | State::Releasing => {
-                let r = self.driver.on_result(last);
-                self.drive(r, ctx.now)
+                let r = self.driver.on_result(ctx, last);
+                self.drive(r, ctx)
             }
             State::WriteOut => {
                 self.state = State::BumpBaton;

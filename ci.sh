@@ -18,6 +18,17 @@ echo "==> harness smoke run (all artifacts, fast scale, 2 jobs)"
 ./target/release/experiments all --fast --jobs 2 --out target/ci-experiments \
     --bench-json target/ci-experiments/bench.json >/dev/null
 
+echo "==> robustness smoke (faulted sweep deterministic across --jobs)"
+./target/release/experiments robustness --fast --jobs 1 \
+    --out target/ci-rob-j1 >/dev/null
+./target/release/experiments robustness --fast --jobs 4 \
+    --out target/ci-rob-j4 >/dev/null
+cmp target/ci-rob-j1/robustness.tsv target/ci-rob-j4/robustness.tsv
+if ./target/release/experiments robustness --jobs 0 >/dev/null 2>&1; then
+    echo "expected --jobs 0 to be rejected as a usage error"
+    exit 1
+fi
+
 echo "==> trace smoke (traced run must not change results)"
 ./target/release/experiments fig5 --fast --jobs 2 \
     --out target/ci-trace-off >/dev/null
@@ -39,6 +50,10 @@ names = {e["name"] for e in events}
 for required in ("LockAcquire", "CoherenceTxn", "GotAngry", "BackoffSleep"):
     assert required in names, f"trace missing {required} events"
 print(f"trace OK: {len(events)} events, {len(names)} distinct names")
+metrics = json.load(open("target/ci-trace-on/metrics.json"))
+for lock in metrics["locks"]:
+    assert "preemptions" in lock and "migrations" in lock, "metrics missing fault counters"
+print(f"metrics OK: {len(metrics['locks'])} lock entries with fault counters")
 EOF
 else
     echo "python3 not found; skipping JSON parse validation"

@@ -1,0 +1,62 @@
+//! Small, testable pieces of the command-line surface.
+//!
+//! The binary in `main.rs` is all I/O; value parsing lives here so the
+//! rejection behavior (a bad `--jobs` is a usage error, exactly like an
+//! unknown flag) is covered by unit tests.
+
+/// Parses the operand of `--jobs`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when the operand is
+/// missing, not a number, negative, or zero — zero used to be silently
+/// conflated with "unbounded" by callers that clamped, and a negative
+/// value parsed as a huge unsigned one; both are plain usage errors now.
+pub fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Err("--jobs requires a positive integer".to_owned());
+    };
+    match raw.parse::<i128>() {
+        Ok(n) if n >= 1 => usize::try_from(n)
+            .map_err(|_| format!("--jobs {raw} exceeds this platform's job limit")),
+        Ok(_) => Err(format!("--jobs must be a positive integer (got {raw})")),
+        Err(_) => Err(format!("--jobs must be a positive integer (got `{raw}`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_integers() {
+        assert_eq!(parse_jobs(Some("1")), Ok(1));
+        assert_eq!(parse_jobs(Some("16")), Ok(16));
+    }
+
+    #[test]
+    fn rejects_zero() {
+        let err = parse_jobs(Some("0")).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        assert!(err.contains('0'), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative() {
+        let err = parse_jobs(Some("-2")).unwrap_err();
+        assert!(err.contains("-2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        for bad in ["four", "", "4x", "1.5"] {
+            let err = parse_jobs(Some(bad)).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_operand() {
+        assert!(parse_jobs(None).is_err());
+    }
+}

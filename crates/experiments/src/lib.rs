@@ -20,6 +20,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apps_exp;
+pub mod cli;
 pub mod colloc;
 pub mod fig10;
 pub mod fig3;
@@ -32,6 +33,7 @@ pub mod lat_hist;
 pub mod nuca_ratio;
 pub mod raytrace_exp;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod table1;
 pub mod table3;
@@ -88,7 +90,14 @@ pub const EXPERIMENTS: [&str; 13] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXTENSIONS: [&str; 5] = ["nuca_ratio", "hier", "colloc", "ticket", "lat_hist"];
+pub const EXTENSIONS: [&str; 6] = [
+    "nuca_ratio",
+    "hier",
+    "colloc",
+    "ticket",
+    "lat_hist",
+    "robustness",
+];
 
 /// Runs one experiment (or `all`) and returns its report(s).
 ///
@@ -115,6 +124,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "colloc" => Ok(vec![colloc::run(scale)]),
         "ticket" => Ok(vec![ticket_exp::run(scale)]),
         "lat_hist" => Ok(vec![lat_hist::run(scale)]),
+        "robustness" => Ok(vec![robustness::run(scale)]),
         "all" => {
             // Fan the artifacts out across orchestration threads (their
             // leaf sim jobs share the global --jobs budget) and flatten

@@ -42,10 +42,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--jobs" => match iter.next().as_deref().map(str::parse::<usize>) {
-                Some(Ok(n)) if n >= 1 => runner::set_max_jobs(n),
-                _ => {
-                    eprintln!("--jobs requires a positive integer");
+            "--jobs" => match nuca_experiments::cli::parse_jobs(iter.next().as_deref()) {
+                Ok(n) => runner::set_max_jobs(n),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },

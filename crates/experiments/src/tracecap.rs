@@ -183,6 +183,14 @@ fn write_event(w: &mut JsonWriter, pid: u64, rec: &TraceRecord) {
         SimEvent::Preempt { cpu, cycles } => {
             span(w, "Preempt", cpu.index(), cycles);
         }
+        SimEvent::Migrate { cpu, from, to } => {
+            instant(w, "Migrate", cpu.index());
+            w.key("args");
+            w.begin_object();
+            w.field_u64("from", from.index() as u64);
+            w.field_u64("to", to.index() as u64);
+            w.end_object();
+        }
         SimEvent::GotAngry { cpu, node } => {
             instant(w, "GotAngry", cpu.index());
             w.key("args");
@@ -258,6 +266,7 @@ pub fn metrics_json(scale: Scale, captures: &[Capture]) -> String {
         w.end_array();
         w.field_u64("anger_episodes", r.anger_episodes);
         w.field_u64("preemptions", r.preemptions);
+        w.field_u64("migrations", r.migrations);
         w.field_u64("trace_events", cap.records.len() as u64);
         w.key("locks");
         w.begin_array();
@@ -334,6 +343,7 @@ mod tests {
                     | SimEvent::BackoffSleep { cpu, .. }
                     | SimEvent::CoherenceTxn { cpu, .. }
                     | SimEvent::Preempt { cpu, .. }
+                    | SimEvent::Migrate { cpu, .. }
                     | SimEvent::GotAngry { cpu, .. }
                     | SimEvent::ThrottleSpin { cpu, .. } => cpu.index(),
                 };

@@ -35,3 +35,11 @@ fn table2_tsv_identical_serial_vs_parallel() {
     let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     assert_eq!(tsv_bytes("table2", 1), tsv_bytes("table2", 4));
 }
+
+#[test]
+fn robustness_tsv_identical_serial_vs_parallel() {
+    // The faulted sweep must stay deterministic too: fault-layer RNG
+    // streams are seeded per run, never shared across jobs.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(tsv_bytes("robustness", 1), tsv_bytes("robustness", 4));
+}

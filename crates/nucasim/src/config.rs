@@ -2,6 +2,7 @@
 
 use nuca_topology::Topology;
 
+use crate::faults::FaultConfig;
 use crate::preempt::PreemptionConfig;
 
 /// Unloaded latencies and occupancies of the simulated memory system, in
@@ -202,6 +203,9 @@ pub struct MachineConfig {
     pub latency: LatencyModel,
     /// OS preemption model; `None` simulates an otherwise-idle machine.
     pub preemption: Option<PreemptionConfig>,
+    /// Injected fault layers; `None` (or [`FaultConfig::none`]) runs
+    /// undisturbed.
+    pub faults: Option<FaultConfig>,
     /// Seed for all engine-internal randomness.
     pub seed: u64,
 }
@@ -213,6 +217,7 @@ impl MachineConfig {
             topology: Topology::symmetric(nodes, cpus_per_node),
             latency: LatencyModel::wildfire(),
             preemption: None,
+            faults: None,
             seed: 0x5EED,
         }
     }
@@ -223,6 +228,7 @@ impl MachineConfig {
             topology: Topology::single_node(cpus),
             latency: LatencyModel::e6000(),
             preemption: None,
+            faults: None,
             seed: 0x5EED,
         }
     }
@@ -235,9 +241,32 @@ impl MachineConfig {
     }
 
     /// Enables the preemption model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero `mean_gap` or
+    /// `quantum`) — see [`PreemptionConfig::validate`].
     #[must_use]
     pub fn with_preemption(mut self, p: PreemptionConfig) -> MachineConfig {
+        if let Err(msg) = p.validate() {
+            panic!("invalid preemption config: {msg}");
+        }
         self.preemption = Some(p);
+        self
+    }
+
+    /// Enables fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any enabled layer is degenerate for this machine's
+    /// topology — see [`FaultConfig::validate`].
+    #[must_use]
+    pub fn with_faults(mut self, f: FaultConfig) -> MachineConfig {
+        if let Err(msg) = f.validate(self.topology.num_nodes()) {
+            panic!("invalid fault config: {msg}");
+        }
+        self.faults = Some(f);
         self
     }
 
@@ -293,6 +322,26 @@ mod tests {
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.latency, LatencyModel::dash());
         assert!(cfg.preemption.is_none());
+        assert!(cfg.faults.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid preemption config")]
+    fn degenerate_preemption_rejected_at_build() {
+        let _ = MachineConfig::wildfire(2, 2)
+            .with_preemption(PreemptionConfig { mean_gap: 0, quantum: 100 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn degenerate_faults_rejected_at_build() {
+        use crate::faults::{FaultConfig, MigrationConfig};
+        // Migration on a single-node machine can never change anything.
+        let _ = MachineConfig::e6000(4)
+            .with_faults(FaultConfig::none().with_migration(MigrationConfig {
+                mean_gap: 1000,
+                pause: 10,
+            }));
     }
 
     #[test]

@@ -5,9 +5,10 @@ use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 
-use nuca_topology::{CpuId, Topology};
+use nuca_topology::{CpuId, NodeId, Topology};
 
 use crate::config::MachineConfig;
+use crate::faults::{FaultConfig, FaultState};
 use crate::mem::{Addr, MemOp, MemorySystem};
 use crate::preempt::PreemptState;
 use crate::program::{Command, CpuCtx, Program};
@@ -75,6 +76,8 @@ pub struct SimReport {
     values: Vec<u64>,
     /// Preemption windows applied.
     pub preemptions: u64,
+    /// Injected thread migrations applied.
+    pub migrations: u64,
     /// HBO_GT_SD anger episodes recorded.
     pub anger_episodes: u64,
     /// Transactions served from the requester's own cache.
@@ -137,6 +140,10 @@ pub struct Machine {
     time: u64,
     seq: u64,
     preempt: Option<PreemptState>,
+    /// Engine-side fault layers (holder-preempt bursts, migration).
+    /// `None` whenever fault injection is off — the hot path then pays a
+    /// single branch, like tracing.
+    faults: Option<FaultState>,
     /// Recycled buffer for the watchers each write wakes (engine-owned so
     /// the hot path never allocates).
     woken_buf: Vec<(CpuId, u64, u64)>,
@@ -147,12 +154,36 @@ pub struct Machine {
 
 impl Machine {
     /// Builds an idle machine from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.preemption` or `cfg.faults` is degenerate (the
+    /// builders on [`MachineConfig`] reject these earlier with the same
+    /// messages; this is the backstop for directly-assembled configs).
     pub fn new(cfg: MachineConfig) -> Machine {
         let topo = Arc::new(cfg.topology);
         let mut rng = SplitMix64::new(cfg.seed);
-        let preempt = cfg
-            .preemption
-            .map(|p| PreemptState::new(p, topo.num_cpus(), &mut rng));
+        let preempt = cfg.preemption.map(|p| {
+            if let Err(msg) = p.validate() {
+                panic!("invalid preemption config: {msg}");
+            }
+            PreemptState::new(p, topo.num_cpus(), &mut rng)
+        });
+        let mut mem = MemorySystem::new(Arc::clone(&topo), cfg.latency);
+        // FaultConfig::none() is exactly equivalent to no fault config:
+        // no state, no extra rng draws, bit-identical runs.
+        let faults = cfg.faults.filter(FaultConfig::is_active).map(|f| {
+            if let Err(msg) = f.validate(topo.num_nodes()) {
+                panic!("invalid fault config: {msg}");
+            }
+            if let Some(s) = f.slow_node {
+                mem.set_slow_node(NodeId(s.node), s.factor);
+            }
+            if let Some(j) = f.jitter {
+                mem.set_jitter(j.max_extra, rng.split());
+            }
+            FaultState::new(&f, topo.num_cpus(), &mut rng)
+        });
         let cpus = (0..topo.num_cpus())
             .map(|_| CpuSlot {
                 program: None,
@@ -161,7 +192,7 @@ impl Machine {
             })
             .collect();
         Machine {
-            mem: MemorySystem::new(Arc::clone(&topo), cfg.latency),
+            mem,
             topo,
             stats: SimStats::new(),
             cpus,
@@ -169,6 +200,7 @@ impl Machine {
             time: 0,
             seq: 0,
             preempt,
+            faults,
             woken_buf: Vec::new(),
             trace: None,
         }
@@ -251,8 +283,44 @@ impl Machine {
         }
     }
 
-    /// Schedules a resume at `t`, sliding past preemption windows.
+    /// Applies the engine-side fault layers to a resume of `cpu` at `t`:
+    /// a pending holder-preemption burst delays the resume by its quantum,
+    /// and due migrations re-home the CPU's thread (with an off-CPU
+    /// pause). Returns the adjusted time. Every injected fault is counted
+    /// and traced, mirroring [`Machine::adjust_preempt`].
+    fn apply_faults(&mut self, cpu: usize, t: u64) -> u64 {
+        let Some(f) = self.faults.as_mut() else {
+            return t;
+        };
+        let mut t = t;
+        if let Some(m) = f.migration.as_mut() {
+            while m.next[cpu] <= t {
+                let from = self.mem.node_of(CpuId(cpu));
+                let to = NodeId((from.index() + 1) % self.topo.num_nodes());
+                self.mem.migrate_cpu(CpuId(cpu), to);
+                self.stats.count_migration();
+                if let Some(sink) = self.trace.as_deref_mut() {
+                    sink.record(t, SimEvent::Migrate { cpu: CpuId(cpu), from, to });
+                }
+                t = t.max(m.next[cpu] + m.pause);
+                m.rearm(cpu);
+            }
+        }
+        let burst = std::mem::take(&mut f.pending_delay[cpu]);
+        if burst > 0 {
+            self.stats.count_preemption();
+            if let Some(sink) = self.trace.as_deref_mut() {
+                sink.record(t, SimEvent::Preempt { cpu: CpuId(cpu), cycles: burst });
+            }
+            t += burst;
+        }
+        t
+    }
+
+    /// Schedules a resume at `t`, sliding past faults and preemption
+    /// windows.
     fn schedule_resume(&mut self, cpu: usize, t: u64, value: Option<u64>) {
+        let t = self.apply_faults(cpu, t);
         let t = self.adjust_preempt(cpu, t);
         self.cpus[cpu].pending = value;
         self.push_event(t, cpu);
@@ -289,12 +357,16 @@ impl Machine {
                 let last = self.cpus[cpu].pending.take();
                 events += 1;
                 let command = {
+                    // The *current* node — an injected migration may have
+                    // moved this thread off its topology home.
+                    let node = self.mem.node_of(CpuId(cpu));
                     let mut ctx = CpuCtx {
                         cpu: CpuId(cpu),
-                        node: self.topo.node_of(CpuId(cpu)),
+                        node,
                         now: t,
                         stats: &mut self.stats,
                         trace: self.trace.as_deref_mut(),
+                        faults: self.faults.as_mut(),
                     };
                     program.resume(&mut ctx, last)
                 };
@@ -356,7 +428,8 @@ impl Machine {
                     }
                 };
                 self.cpus[cpu].program = Some(program);
-                let adj = self.adjust_preempt(cpu, next_at);
+                let faulted = self.apply_faults(cpu, next_at);
+                let adj = self.adjust_preempt(cpu, faulted);
                 if inline_resume
                     && adj <= limit
                     && self
@@ -403,6 +476,7 @@ impl Machine {
             lock_traces: self.stats.take_locks(),
             values: self.mem.final_values(),
             preemptions: self.stats.preemptions(),
+            migrations: self.stats.migrations(),
             anger_episodes: self.stats.anger_episodes(),
             cache_hits: self.stats.cache_hits(),
             events: self.stats.events(),
@@ -771,7 +845,8 @@ mod tests {
                 | SimEvent::CoherenceTxn { cpu, .. }
                 | SimEvent::Preempt { cpu, .. }
                 | SimEvent::GotAngry { cpu, .. }
-                | SimEvent::ThrottleSpin { cpu, .. } => cpu,
+                | SimEvent::ThrottleSpin { cpu, .. }
+                | SimEvent::Migrate { cpu, .. } => cpu,
             };
             assert!(
                 r.at >= last_per_cpu[cpu.index()],
@@ -812,6 +887,124 @@ mod tests {
         assert!(run_once(true) > 2 * run_once(false));
     }
 
+    /// One contended-counter report, with an arbitrary fault surface.
+    fn faulted_report(faults: Option<crate::FaultConfig>) -> SimReport {
+        let mut cfg = MachineConfig::wildfire(2, 4).with_seed(13);
+        if let Some(f) = faults {
+            cfg.faults = Some(f);
+        }
+        let mut m = Machine::new(cfg);
+        let a = m.mem_mut().alloc(NodeId(0));
+        struct LockedIncr {
+            addr: Addr,
+            left: u32,
+            lock: bool,
+        }
+        impl Program for LockedIncr {
+            fn resume(&mut self, ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                if self.left == 0 {
+                    return Command::Done;
+                }
+                // Alternate "acquire" notifications with the increment so
+                // the holder-preempt layer sees acquisitions.
+                if self.lock {
+                    self.lock = false;
+                    ctx.record_acquire(0);
+                    Command::Delay(50)
+                } else {
+                    self.lock = true;
+                    self.left -= 1;
+                    Command::FetchAdd { addr: self.addr, delta: 1 }
+                }
+            }
+        }
+        for cpu in 0..8 {
+            m.add_program(
+                CpuId(cpu),
+                Box::new(LockedIncr { addr: a, left: 50, lock: true }),
+            );
+        }
+        let status = m.run(u64::MAX / 2);
+        assert!(status.finished_all);
+        let r = m.into_report();
+        assert_eq!(r.final_value(Addr(0)), 400, "no increments lost to faults");
+        r
+    }
+
+    #[test]
+    fn inactive_fault_config_is_bit_identical_to_none() {
+        let plain = faulted_report(None);
+        let gated = faulted_report(Some(crate::FaultConfig::none()));
+        assert_eq!(plain.end_time, gated.end_time);
+        assert_eq!(plain.traffic, gated.traffic);
+        assert_eq!(plain.finish_times, gated.finish_times);
+        assert_eq!(plain.events, gated.events);
+        assert_eq!(plain.preemptions, 0);
+        assert_eq!(plain.migrations, 0);
+    }
+
+    #[test]
+    fn holder_preempt_bursts_fire_and_slow_the_run() {
+        let plain = faulted_report(None);
+        let faulted = faulted_report(Some(crate::FaultConfig::none().with_holder_preempt(
+            crate::HolderPreemptConfig { per_mille: 500, quantum: 10_000 },
+        )));
+        assert!(faulted.preemptions > 0, "bursts fired");
+        assert!(
+            faulted.end_time > plain.end_time + 10_000,
+            "losing quanta mid-critical-section costs time: {} vs {}",
+            faulted.end_time,
+            plain.end_time
+        );
+        // Reproducible: same seed, same faulted timeline.
+        let again = faulted_report(Some(crate::FaultConfig::none().with_holder_preempt(
+            crate::HolderPreemptConfig { per_mille: 500, quantum: 10_000 },
+        )));
+        assert_eq!(faulted.end_time, again.end_time);
+        assert_eq!(faulted.preemptions, again.preemptions);
+    }
+
+    #[test]
+    fn migrations_fire_are_counted_and_traced() {
+        use crate::trace::EventLog;
+
+        let fcfg = crate::FaultConfig::none()
+            .with_migration(crate::MigrationConfig { mean_gap: 50_000, pause: 1_000 });
+        let mut m = Machine::new(MachineConfig::wildfire(2, 4).with_seed(5).with_faults(fcfg));
+        let log = EventLog::new();
+        m.set_trace_sink(Box::new(log.clone()));
+        let a = m.mem_mut().alloc(NodeId(0));
+        struct Incr {
+            addr: Addr,
+            left: u32,
+        }
+        impl Program for Incr {
+            fn resume(&mut self, _ctx: &mut CpuCtx<'_>, _l: Option<u64>) -> Command {
+                if self.left == 0 {
+                    return Command::Done;
+                }
+                self.left -= 1;
+                Command::FetchAdd { addr: self.addr, delta: 1 }
+            }
+        }
+        for cpu in 0..8 {
+            m.add_program(CpuId(cpu), Box::new(Incr { addr: a, left: 200 }));
+        }
+        let status = m.run(u64::MAX / 2);
+        assert!(status.finished_all);
+        let events = log.take();
+        let r = m.into_report();
+        assert_eq!(r.final_value(a), 1600, "migration loses no operations");
+        assert!(r.migrations > 0, "migrations happened");
+        let migrate_events = events
+            .iter()
+            .filter(|rec| {
+                matches!(rec.event, SimEvent::Migrate { from, to, .. } if from != to)
+            })
+            .count() as u64;
+        assert_eq!(migrate_events, r.migrations, "one event per counted migration");
+    }
+
     #[test]
     fn finish_spread_metric() {
         let r = SimReport {
@@ -823,6 +1016,7 @@ mod tests {
             lock_traces: Vec::new(),
             values: Vec::new(),
             preemptions: 0,
+            migrations: 0,
             anger_episodes: 0,
             cache_hits: 0,
             events: 0,

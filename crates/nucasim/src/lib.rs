@@ -21,7 +21,10 @@
 //!   interconnect), regenerating the paper's Tables 2 and 6;
 //! * **OS preemption** (optional): random multi-millisecond preemption
 //!   windows per CPU, the mechanism behind the queue-lock collapse in the
-//!   paper's 30-processor runs (Table 4).
+//!   paper's 30-processor runs (Table 4);
+//! * **fault injection** (optional): composable, seed-reproducible
+//!   disturbance layers — lock-holder-targeted preemption, thread
+//!   migration, a slow node, latency jitter — see [`FaultConfig`].
 //!
 //! Simulated processors run [`Program`]s — resumable state machines that
 //! issue [`Command`]s (memory operations, delays). The engine is fully
@@ -66,6 +69,7 @@
 
 mod config;
 mod engine;
+mod faults;
 mod mem;
 mod metrics;
 mod preempt;
@@ -76,6 +80,9 @@ mod trace;
 
 pub use config::{LatencyModel, MachineConfig};
 pub use engine::{Machine, RunStatus, SimReport};
+pub use faults::{
+    FaultConfig, HolderPreemptConfig, JitterConfig, MigrationConfig, SlowNodeConfig,
+};
 pub use mem::{Addr, MemOp, MemorySystem};
 pub use metrics::Histogram;
 pub use preempt::PreemptionConfig;

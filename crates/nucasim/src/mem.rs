@@ -17,6 +17,7 @@ use std::sync::Arc;
 use nuca_topology::{CpuId, NodeId, Topology};
 
 use crate::config::LatencyModel;
+use crate::rng::SplitMix64;
 use crate::stats::SimStats;
 use crate::trace::{SimEvent, TraceSink};
 
@@ -246,11 +247,23 @@ pub struct MemorySystem {
     /// [`MemorySystem::wait_while`] (reads never wake watchers, so it
     /// always comes back empty).
     read_scratch: Vec<(CpuId, u64, u64)>,
+    /// Node each CPU's thread currently runs on (index = CPU id). Starts
+    /// as the topology mapping; injected migrations rewrite entries.
+    cpu_nodes: Vec<NodeId>,
+    /// Whether any migration has happened. While false (the overwhelmingly
+    /// common case) topology-derived shortcuts like the same-chip class
+    /// stay valid.
+    migrated: bool,
+    /// One slow node: `(node, latency multiplier)` for transfers it serves.
+    slow_node: Option<(NodeId, u64)>,
+    /// Bounded uniform latency noise: `(max_extra, stream)`.
+    jitter: Option<(u64, SplitMix64)>,
 }
 
 impl MemorySystem {
     pub(crate) fn new(topo: Arc<Topology>, latency: LatencyModel) -> MemorySystem {
         let nodes = topo.num_nodes();
+        let cpu_nodes = (0..topo.num_cpus()).map(|c| topo.node_of(CpuId(c))).collect();
         MemorySystem {
             topo,
             latency,
@@ -258,7 +271,51 @@ impl MemorySystem {
             bus_until: vec![0; nodes],
             link_until: 0,
             read_scratch: Vec::new(),
+            cpu_nodes,
+            migrated: false,
+            slow_node: None,
+            jitter: None,
         }
+    }
+
+    /// The node `cpu`'s thread currently runs on — the topology's mapping
+    /// until an injected migration moves it.
+    pub fn node_of(&self, cpu: CpuId) -> NodeId {
+        self.cpu_nodes[cpu.index()]
+    }
+
+    /// Re-homes `cpu`'s thread to `node` (injected migration). Subsequent
+    /// accesses by that CPU pay latencies and traffic as from `node`.
+    pub(crate) fn migrate_cpu(&mut self, cpu: CpuId, node: NodeId) {
+        debug_assert!(node.index() < self.topo.num_nodes());
+        self.cpu_nodes[cpu.index()] = node;
+        self.migrated = true;
+    }
+
+    /// Enables the slow-node fault layer.
+    pub(crate) fn set_slow_node(&mut self, node: NodeId, factor: u64) {
+        self.slow_node = Some((node, factor));
+    }
+
+    /// Enables the latency-jitter fault layer.
+    pub(crate) fn set_jitter(&mut self, max_extra: u64, rng: SplitMix64) {
+        self.jitter = Some((max_extra, rng));
+    }
+
+    /// Fault-layer latency adjustment for a transfer served by
+    /// `served_by`: the slow-node multiplier, then bounded jitter. Both
+    /// disabled (the default) returns `base` untouched and draws nothing.
+    fn faulted_latency(&mut self, base: u64, served_by: NodeId) -> u64 {
+        let mut lat = base;
+        if let Some((slow, factor)) = self.slow_node {
+            if served_by == slow {
+                lat *= factor;
+            }
+        }
+        if let Some((max_extra, rng)) = self.jitter.as_mut() {
+            lat += rng.next_below(*max_extra + 1);
+        }
+        lat
     }
 
     /// Allocates a fresh zero-initialized word homed in `node`.
@@ -374,7 +431,7 @@ impl MemorySystem {
         woken: &mut Vec<(CpuId, u64, u64)>,
     ) -> AccessOutcome {
         woken.clear();
-        let my_node = self.topo.node_of(cpu);
+        let my_node = self.node_of(cpu);
         let home = self.lines[addr.index()].home;
         let lat = self.latency;
 
@@ -388,11 +445,16 @@ impl MemorySystem {
             {
                 (Source::Hit, my_node)
             } else if let Some(owner) = line.owner {
-                let on = self.topo.node_of(owner);
+                let on = self.node_of(owner);
                 if on == my_node {
                     // On hierarchical machines, a transfer within the
-                    // innermost group stays on-chip.
-                    if self.topo.extra_levels() > 0 && self.topo.distance(cpu, owner) <= 1 {
+                    // innermost group stays on-chip. Once any thread has
+                    // migrated, topology distance no longer describes
+                    // where threads run, so the shortcut is disabled.
+                    if !self.migrated
+                        && self.topo.extra_levels() > 0
+                        && self.topo.distance(cpu, owner) <= 1
+                    {
                         (Source::SameChipCache, on)
                     } else {
                         (Source::SameNodeCache, on)
@@ -409,6 +471,10 @@ impl MemorySystem {
         };
 
         let mut latency = self.source_latency(src);
+        if src != Source::Hit {
+            // Fault layers touch only real transfers; hits stay in-cache.
+            latency = self.faulted_latency(latency, src_node);
+        }
         if op.is_atomic() {
             latency += lat.atomic_extra;
         }
@@ -501,7 +567,7 @@ impl MemorySystem {
                 let c = sharers.trailing_zeros() as usize;
                 sharers &= sharers - 1;
                 if c != cpu.index() {
-                    inval_nodes |= 1 << self.topo.node_of(CpuId(c)).index();
+                    inval_nodes |= 1 << self.node_of(CpuId(c)).index();
                 }
             }
             while inval_nodes != 0 {
@@ -562,7 +628,7 @@ impl MemorySystem {
                     // re-checks. Spinners whose condition still fails stay
                     // parked but have already paid — this is the O(N²)
                     // test-and-test&set stampede.
-                    let w_node = self.topo.node_of(w.cpu);
+                    let w_node = self.node_of(w.cpu);
                     let global = w_node != my_node;
                     let (refill, occ) = if global {
                         stats.count_global(w_node);
@@ -571,6 +637,8 @@ impl MemorySystem {
                         stats.count_local(w_node);
                         (lat.same_node_transfer, lat.local_occupancy)
                     };
+                    // Refills are served by the writer's cache.
+                    let refill = self.faulted_latency(refill, my_node);
                     // The refill burst arbitrates for the same shared
                     // resources as any other transaction.
                     let mut s = busy.max(self.bus_until[w_node.index()]);
@@ -931,5 +999,75 @@ mod tests {
     fn alloc_foreign_node_rejected() {
         let (mut mem, _) = mem2x2();
         let _ = mem.alloc(NodeId(7));
+    }
+
+    #[test]
+    fn migration_reclassifies_traffic() {
+        let (mut mem, mut st) = mem2x2();
+        assert_eq!(mem.node_of(CpuId(0)), NodeId(0));
+        let a = mem.alloc(NodeId(0));
+        // CPU 2 (node 1) owns the line; CPU 0 fetches it cross-node.
+        access(&mut mem, 0, CpuId(2), a, MemOp::Write(1), &mut st);
+        let g_before = st.traffic().global;
+        access(&mut mem, 10_000, CpuId(0), a, MemOp::Write(2), &mut st);
+        assert_eq!(st.traffic().global, g_before + 1, "cross-node fetch");
+        // Migrate CPU 0 onto node 1: the same fetch is now node-local.
+        mem.migrate_cpu(CpuId(0), NodeId(1));
+        assert_eq!(mem.node_of(CpuId(0)), NodeId(1));
+        access(&mut mem, 20_000, CpuId(2), a, MemOp::Write(3), &mut st);
+        let g_mid = st.traffic().global;
+        access(&mut mem, 30_000, CpuId(0), a, MemOp::Write(4), &mut st);
+        assert_eq!(st.traffic().global, g_mid, "post-migration fetch is local");
+    }
+
+    #[test]
+    fn slow_node_multiplies_served_transfers_only() {
+        let t_from = |slow: bool| {
+            let (mut mem, mut st) = mem2x2();
+            if slow {
+                mem.set_slow_node(NodeId(1), 4);
+            }
+            let a = mem.alloc(NodeId(0));
+            // Owner on node 1; requester on node 0 → served by node 1.
+            access(&mut mem, 0, CpuId(2), a, MemOp::Write(1), &mut st);
+            let out = access(&mut mem, 100_000, CpuId(0), a, MemOp::Write(2), &mut st);
+            let served_by_slow = out.complete_at - 100_000;
+            // Now owner on node 0; requester on node 1 → served by node 0.
+            let out = access(&mut mem, 200_000, CpuId(2), a, MemOp::Write(3), &mut st);
+            let served_by_fast = out.complete_at - 200_000;
+            (served_by_slow, served_by_fast)
+        };
+        let (base_slow, base_fast) = t_from(false);
+        let (slow, fast) = t_from(true);
+        assert!(slow > 3 * base_slow, "slow node's transfers pay the factor");
+        assert_eq!(fast, base_fast, "the healthy node is untouched");
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let run = |jitter: bool| {
+            let (mut mem, mut st) = mem2x2();
+            if jitter {
+                mem.set_jitter(50, SplitMix64::new(77));
+            }
+            let a = mem.alloc(NodeId(0));
+            let mut times = Vec::new();
+            let mut now = 0;
+            for i in 0..20u64 {
+                let cpu = CpuId((i % 4) as usize);
+                let out = access(&mut mem, now, cpu, a, MemOp::Write(i), &mut st);
+                times.push(out.complete_at - now);
+                now = out.complete_at + 1_000;
+            }
+            times
+        };
+        let base = run(false);
+        let j1 = run(true);
+        let j2 = run(true);
+        assert_eq!(j1, j2, "jitter is seed-reproducible");
+        assert_ne!(base, j1, "jitter actually perturbs latencies");
+        for (b, j) in base.iter().zip(&j1) {
+            assert!(*j >= *b && *j <= *b + 50, "bounded: {b} -> {j}");
+        }
     }
 }

@@ -43,6 +43,20 @@ impl PreemptionConfig {
             quantum: 2_500_000,
         }
     }
+
+    /// Checks the parameters describe a real disturbance. `mean_gap == 0`
+    /// would pin every CPU in back-to-back windows and `quantum == 0`
+    /// makes every window an invisible no-op; both were previously
+    /// accepted silently.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mean_gap == 0 {
+            return Err("preemption mean_gap must be positive (got 0)".to_owned());
+        }
+        if self.quantum == 0 {
+            return Err("preemption quantum must be positive (got 0)".to_owned());
+        }
+        Ok(())
+    }
 }
 
 /// Per-CPU stream of preemption windows.
@@ -60,7 +74,9 @@ impl PreemptState {
         let mut next_start = Vec::with_capacity(cpus);
         for _ in 0..cpus {
             let mut r = seed.split();
-            next_start.push(r.next_exp(cfg.mean_gap).max(1));
+            // `next_exp` floors nonzero-mean draws at 1, so a window can
+            // never start at cycle 0.
+            next_start.push(r.next_exp(cfg.mean_gap));
             rngs.push(r);
         }
         PreemptState {
@@ -84,7 +100,7 @@ impl PreemptState {
                 break;
             }
             let end = start + self.cfg.quantum;
-            let gap = self.rngs[cpu].next_exp(self.cfg.mean_gap).max(1);
+            let gap = self.rngs[cpu].next_exp(self.cfg.mean_gap);
             self.next_start[cpu] = end + gap;
             if end > t {
                 // The thread would run inside this window: it resumes
@@ -101,6 +117,20 @@ impl PreemptState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(PreemptionConfig { mean_gap: 0, quantum: 10 }
+            .validate()
+            .unwrap_err()
+            .contains("mean_gap"));
+        assert!(PreemptionConfig { mean_gap: 10, quantum: 0 }
+            .validate()
+            .unwrap_err()
+            .contains("quantum"));
+        assert!(PreemptionConfig::solaris_daemons().validate().is_ok());
+        assert!(PreemptionConfig::multiprogrammed().validate().is_ok());
+    }
 
     #[test]
     fn no_window_before_first_start_leaves_time_alone() {

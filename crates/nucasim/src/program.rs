@@ -4,6 +4,7 @@ use std::fmt;
 
 use nuca_topology::{CpuId, NodeId};
 
+use crate::faults::FaultState;
 use crate::mem::Addr;
 use crate::stats::SimStats;
 use crate::trace::{BackoffClass, SimEvent, TraceSink};
@@ -70,6 +71,10 @@ pub struct CpuCtx<'a> {
     /// this single `Option`, so untraced runs pay one branch per emission
     /// site and nothing else.
     pub(crate) trace: Option<&'a mut (dyn TraceSink + 'static)>,
+    /// Engine-side fault state, if fault injection is on. Lock drivers
+    /// notify it of acquisitions through [`CpuCtx::record_acquire`], which
+    /// is how holder-targeted preemption knows who holds a lock.
+    pub(crate) faults: Option<&'a mut FaultState>,
 }
 
 impl<'a> CpuCtx<'a> {
@@ -82,6 +87,7 @@ impl<'a> CpuCtx<'a> {
             now,
             stats,
             trace: None,
+            faults: None,
         }
     }
 
@@ -90,6 +96,11 @@ impl<'a> CpuCtx<'a> {
     /// chosen dense index.
     pub fn record_acquire(&mut self, lock: usize) {
         self.stats.record_acquire(lock, self.node);
+        // Holder-targeted preemption keys off this: the new holder may be
+        // marked to lose a quantum at its next resume, mid-critical-section.
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.on_acquire(self.cpu);
+        }
         if let Some(t) = self.trace.as_deref_mut() {
             t.record(
                 self.now,

@@ -47,16 +47,20 @@ impl SplitMix64 {
     }
 
     /// Approximately exponentially distributed value with the given mean,
-    /// for Poisson-style arrival processes (preemption windows).
+    /// for Poisson-style arrival processes (preemption windows, fault
+    /// gaps). For a nonzero mean the result is never 0: a zero gap would
+    /// let schedulers loop without advancing simulated time, so the floor
+    /// lives here rather than at every call site.
     pub fn next_exp(&mut self, mean: u64) -> u64 {
         if mean == 0 {
             return 0;
         }
         // Inverse CDF on a uniform in (0,1]; clamp the tail at 20× mean to
-        // keep event times bounded.
+        // keep event times bounded. The float truncation can round small
+        // draws down to 0, hence the floor.
         let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         let x = -(1.0 - u).ln() * mean as f64;
-        x.min(mean as f64 * 20.0) as u64
+        (x.min(mean as f64 * 20.0) as u64).max(1)
     }
 
     /// Derives an independent generator (for per-CPU streams).
@@ -116,6 +120,23 @@ mod tests {
         let sum: u64 = (0..n).map(|_| r.next_exp(1000)).sum();
         let mean = sum / n;
         assert!((800..1200).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn exp_nonzero_mean_never_returns_zero() {
+        // Regression: the inverse-CDF draw truncates to 0 for small
+        // uniforms (a mean of 1 yields 0 about 63% of the time without the
+        // floor), which let callers schedule zero-length gaps unless each
+        // remembered its own `.max(1)`.
+        for seed in 0..8u64 {
+            let mut r = SplitMix64::new(seed);
+            for _ in 0..10_000 {
+                assert!(r.next_exp(1) >= 1);
+                assert!(r.next_exp(1_000_000) >= 1);
+            }
+        }
+        // A zero mean still means "no process": identity 0.
+        assert_eq!(SplitMix64::new(1).next_exp(0), 0);
     }
 
     #[test]

@@ -80,6 +80,8 @@ pub struct SimStats {
     cache_hits: u64,
     /// Total preemption windows applied.
     preemptions: u64,
+    /// Total injected thread migrations applied.
+    migrations: u64,
     /// Total HBO_GT_SD anger episodes recorded.
     anger_episodes: u64,
     /// Total program-resume events the engine processed.
@@ -118,6 +120,11 @@ impl SimStats {
     /// Preemption windows the engine applied.
     pub fn preemptions(&self) -> u64 {
         self.preemptions
+    }
+
+    /// Injected thread migrations the engine applied.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
     }
 
     /// Program-resume events processed by the engine.
@@ -183,6 +190,10 @@ impl SimStats {
 
     pub(crate) fn count_preemption(&mut self) {
         self.preemptions += 1;
+    }
+
+    pub(crate) fn count_migration(&mut self) {
+        self.migrations += 1;
     }
 
     pub(crate) fn add_events(&mut self, n: u64) {

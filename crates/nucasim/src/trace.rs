@@ -93,6 +93,16 @@ pub enum SimEvent {
         /// Its node.
         node: NodeId,
     },
+    /// An injected fault migrated a CPU's thread to another node
+    /// ([`crate::MigrationConfig`]).
+    Migrate {
+        /// The migrated CPU.
+        cpu: CpuId,
+        /// Node it left.
+        from: NodeId,
+        /// Node it now runs on.
+        to: NodeId,
+    },
 }
 
 /// Receives timestamped [`SimEvent`]s from a running machine.

@@ -38,6 +38,12 @@ enum Phase {
 /// `record_acquire` themselves. Use [`with_lock_index`] when a workload
 /// drives more than one lock.
 ///
+/// Because every acquisition funnels through `record_acquire`, the
+/// engine's fault-injection layers see lock ownership through the driver:
+/// with [`nucasim::HolderPreemptConfig`] enabled, an acquisition may mark
+/// this CPU to lose a quantum at its next resume — i.e. while it holds
+/// the lock — without any change to the workload code.
+///
 /// [`with_lock_index`]: SessionDriver::with_lock_index
 ///
 /// # Example

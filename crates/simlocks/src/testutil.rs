@@ -102,7 +102,17 @@ pub(crate) fn exclusion_test(
     cpus_per_node: usize,
     iters: u32,
 ) -> SimReport {
-    let mut m = Machine::new(MachineConfig::wildfire(nodes, cpus_per_node));
+    exclusion_test_with(kind, MachineConfig::wildfire(nodes, cpus_per_node), iters)
+}
+
+/// [`exclusion_test`] on an arbitrary machine config — the fault-injection
+/// contract suite runs the same stress under each disturbance layer.
+pub(crate) fn exclusion_test_with(
+    kind: LockKind,
+    cfg: MachineConfig,
+    iters: u32,
+) -> SimReport {
+    let mut m = Machine::new(cfg);
     let topo = Arc::clone(m.topology());
     let gt = GtSlots::alloc(m.mem_mut(), &topo);
     let lock = build_lock(
@@ -130,7 +140,7 @@ pub(crate) fn exclusion_test(
     let status = m.run(20_000_000_000);
     assert!(status.finished_all, "{kind}: run did not finish");
     let report = m.into_report();
-    let expected = (nodes * cpus_per_node) as u64 * u64::from(iters);
+    let expected = topo.num_cpus() as u64 * u64::from(iters);
     assert_eq!(
         report.final_value(counter),
         expected,
@@ -288,5 +298,120 @@ pub(crate) fn uncontested_cost(kind: LockKind) -> UncontestedCost {
         same_processor: report.final_value(outs[0]),
         same_node: report.final_value(outs[1]),
         remote_node: report.final_value(outs[2]),
+    }
+}
+
+#[cfg(test)]
+mod fault_contract {
+    //! The lock contract under injected faults: for every simlock kind and
+    //! every fault layer (and all of them at once), mutual exclusion must
+    //! hold and every thread must eventually acquire — i.e. the exclusion
+    //! stress finishes with an exact counter. Holder preemption stalls the
+    //! critical section, migration invalidates HBO's node affinity and the
+    //! `is_spinning` slots mid-acquire, the slow node skews the NUCA
+    //! ratio, and jitter denies any latency assumption.
+
+    use super::*;
+    use nucasim::{
+        FaultConfig, HolderPreemptConfig, JitterConfig, MigrationConfig, SlowNodeConfig,
+    };
+
+    fn layers() -> Vec<(&'static str, FaultConfig)> {
+        vec![
+            (
+                "holder_preempt",
+                FaultConfig::none().with_holder_preempt(HolderPreemptConfig {
+                    per_mille: 200,
+                    quantum: 30_000,
+                }),
+            ),
+            (
+                "migration",
+                FaultConfig::none().with_migration(MigrationConfig {
+                    mean_gap: 60_000,
+                    pause: 10_000,
+                }),
+            ),
+            (
+                "slow_node",
+                FaultConfig::none().with_slow_node(SlowNodeConfig { node: 1, factor: 4 }),
+            ),
+            ("jitter", FaultConfig::none().with_jitter(JitterConfig { max_extra: 80 })),
+            (
+                "all_combined",
+                FaultConfig::none()
+                    .with_holder_preempt(HolderPreemptConfig {
+                        per_mille: 100,
+                        quantum: 30_000,
+                    })
+                    .with_migration(MigrationConfig {
+                        mean_gap: 100_000,
+                        pause: 10_000,
+                    })
+                    .with_slow_node(SlowNodeConfig { node: 0, factor: 2 })
+                    .with_jitter(JitterConfig { max_extra: 40 }),
+            ),
+        ]
+    }
+
+    fn contract_under(name: &str, faults: FaultConfig) {
+        for kind in LockKind::ALL {
+            let cfg = MachineConfig::wildfire(2, 2).with_faults(faults);
+            let report = exclusion_test_with(kind, cfg, 30);
+            // The disturbance must actually have happened where observable.
+            if faults.holder_preempt.is_some() {
+                assert!(report.preemptions > 0, "{kind}/{name}: no burst fired");
+            }
+            if faults.migration.is_some() {
+                assert!(report.migrations > 0, "{kind}/{name}: no migration fired");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_survives_holder_preemption() {
+        let (name, f) = layers().remove(0);
+        contract_under(name, f);
+    }
+
+    #[test]
+    fn exclusion_survives_migration() {
+        let (name, f) = layers().remove(1);
+        contract_under(name, f);
+    }
+
+    #[test]
+    fn exclusion_survives_slow_node() {
+        let (name, f) = layers().remove(2);
+        contract_under(name, f);
+    }
+
+    #[test]
+    fn exclusion_survives_jitter() {
+        let (name, f) = layers().remove(3);
+        contract_under(name, f);
+    }
+
+    #[test]
+    fn exclusion_survives_all_layers_combined() {
+        let (name, f) = layers().remove(4);
+        contract_under(name, f);
+    }
+
+    #[test]
+    fn faulted_run_reproducible_for_seed() {
+        let (_, f) = layers().remove(4);
+        let run = || {
+            exclusion_test_with(
+                LockKind::HboGtSd,
+                MachineConfig::wildfire(2, 2).with_faults(f),
+                30,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.migrations, b.migrations);
     }
 }

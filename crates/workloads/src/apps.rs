@@ -499,6 +499,32 @@ mod tests {
     }
 
     #[test]
+    fn apps_survive_fault_injection() {
+        use nucasim::{FaultConfig, HolderPreemptConfig, SlowNodeConfig};
+
+        let faults = FaultConfig::none()
+            .with_holder_preempt(HolderPreemptConfig {
+                per_mille: 100,
+                quantum: 25_000,
+            })
+            .with_slow_node(SlowNodeConfig { node: 1, factor: 3 });
+        let mut cfg = tiny_cfg(LockKind::HboGt);
+        cfg.machine = cfg.machine.with_faults(faults);
+        let ray = app_by_name("Raytrace").unwrap();
+        let faulted = run_app(&ray, &cfg);
+        assert!(faulted.finished, "faulted raytrace stuck");
+        let again = run_app(&ray, &cfg);
+        assert_eq!(faulted.seconds, again.seconds, "faulted app run not reproducible");
+        let clean = run_app(&ray, &tiny_cfg(LockKind::HboGt));
+        assert!(
+            faulted.seconds > clean.seconds,
+            "faults did not slow the run: {} vs {}",
+            faulted.seconds,
+            clean.seconds
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "not a studied application")]
     fn non_studied_app_rejected() {
         let fft = app_by_name("FFT").unwrap();

@@ -380,6 +380,51 @@ mod tests {
     }
 
     #[test]
+    fn fault_layers_flow_through_machine_config() {
+        use nucasim::{FaultConfig, HolderPreemptConfig, JitterConfig, MigrationConfig};
+
+        let faults = FaultConfig::none()
+            .with_holder_preempt(HolderPreemptConfig {
+                per_mille: 150,
+                quantum: 20_000,
+            })
+            .with_migration(MigrationConfig {
+                mean_gap: 80_000,
+                pause: 5_000,
+            })
+            .with_jitter(JitterConfig { max_extra: 60 });
+        let cfg = ModernConfig {
+            kind: LockKind::HboGtSd,
+            machine: MachineConfig::wildfire(2, 4).with_faults(faults),
+            threads: 8,
+            iterations: 25,
+            critical_work: 100,
+            private_work: 2_000,
+            ..ModernConfig::default()
+        };
+        let (report, _) = run_modern_raw(&cfg);
+        assert!(report.finished_all, "faulted run hit the cycle limit");
+        assert_eq!(report.lock_traces[0].acquisitions, 200);
+        assert!(report.preemptions > 0, "no holder preemption fired");
+        assert!(report.migrations > 0, "no migration fired");
+
+        let (again, _) = run_modern_raw(&cfg);
+        assert_eq!(report.end_time, again.end_time, "faulted run not reproducible");
+        assert_eq!(report.traffic, again.traffic);
+
+        let clean = ModernConfig {
+            machine: MachineConfig::wildfire(2, 4),
+            ..cfg
+        };
+        let (clean_report, _) = run_modern_raw(&clean);
+        assert_eq!(clean_report.migrations, 0);
+        assert_ne!(
+            clean_report.end_time, report.end_time,
+            "fault layers had no effect on the run"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "exceed")]
     fn too_many_threads_rejected() {
         let cfg = ModernConfig {

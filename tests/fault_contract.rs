@@ -1,0 +1,79 @@
+//! End-to-end fault-injection contract, over the full stack (workload →
+//! lock driver → simulator): every lock algorithm still completes its
+//! acquisitions under every fault layer, faulted runs reproduce exactly
+//! for a seed, and the faulted robustness artifact is byte-identical at
+//! any `--jobs` level.
+
+use hbo_locks::LockKind;
+use nuca_workloads::modern::{run_modern_raw, ModernConfig};
+use nucasim::{
+    FaultConfig, HolderPreemptConfig, JitterConfig, MachineConfig, MigrationConfig, SlowNodeConfig,
+};
+
+/// Every fault layer at once, scaled so each fires within a short run.
+fn all_layers() -> FaultConfig {
+    FaultConfig::none()
+        .with_holder_preempt(HolderPreemptConfig {
+            per_mille: 150,
+            quantum: 30_000,
+        })
+        .with_migration(MigrationConfig {
+            mean_gap: 80_000,
+            pause: 5_000,
+        })
+        .with_slow_node(SlowNodeConfig { node: 0, factor: 2 })
+        .with_jitter(JitterConfig { max_extra: 50 })
+}
+
+fn faulted_cfg(kind: LockKind) -> ModernConfig {
+    ModernConfig {
+        kind,
+        machine: MachineConfig::wildfire(2, 2).with_faults(all_layers()),
+        threads: 4,
+        iterations: 25,
+        critical_work: 16,
+        private_work: 1_500,
+        cycle_limit: 3_000_000_000,
+        ..ModernConfig::default()
+    }
+}
+
+#[test]
+fn every_kind_completes_all_acquisitions_under_all_faults() {
+    for kind in LockKind::ALL {
+        let (report, _) = run_modern_raw(&faulted_cfg(kind));
+        assert!(report.finished_all, "{kind}: faulted run hit the budget");
+        assert_eq!(
+            report.lock_traces[0].acquisitions,
+            100,
+            "{kind}: lost acquisitions under faults"
+        );
+        assert!(report.preemptions > 0, "{kind}: holder layer never fired");
+        assert!(report.migrations > 0, "{kind}: migration layer never fired");
+    }
+}
+
+#[test]
+fn faulted_runs_reproduce_exactly_for_a_seed() {
+    for kind in [LockKind::Mcs, LockKind::HboGtSd] {
+        let (a, _) = run_modern_raw(&faulted_cfg(kind));
+        let (b, _) = run_modern_raw(&faulted_cfg(kind));
+        assert_eq!(a.end_time, b.end_time, "{kind}");
+        assert_eq!(a.traffic, b.traffic, "{kind}");
+        assert_eq!(a.preemptions, b.preemptions, "{kind}");
+        assert_eq!(a.migrations, b.migrations, "{kind}");
+    }
+}
+
+#[test]
+fn robustness_artifact_byte_identical_across_jobs() {
+    use nuca_experiments::{run_experiment, runner, Scale};
+
+    let tsv = |jobs: usize| -> Vec<String> {
+        runner::set_max_jobs(jobs);
+        let reports = run_experiment("robustness", Scale::Fast).expect("known artifact");
+        runner::set_max_jobs(0);
+        reports.iter().map(|r| r.to_tsv()).collect()
+    };
+    assert_eq!(tsv(1), tsv(3));
+}

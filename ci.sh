@@ -59,4 +59,27 @@ else
     echo "python3 not found; skipping JSON parse validation"
 fi
 
+echo "==> model checker smoke (exhaustive pass, mutants caught, usage errors)"
+./target/release/nuca-mcheck --kind all --cpus 2 \
+    --bench-json target/ci-experiments/mcheck.json
+for mutant in racy_tatas leaky_hbo_gt; do
+    if out=$(./target/release/nuca-mcheck --kind "$mutant" 2>/dev/null); then
+        echo "expected the $mutant mutant to fail the checker"
+        exit 1
+    fi
+    if ! grep -q "counterexample for" <<<"$out"; then
+        echo "expected a rendered counterexample for $mutant"
+        exit 1
+    fi
+done
+if ./target/release/nuca-mcheck --cpus two >/dev/null 2>&1; then
+    echo "expected non-numeric --cpus to be rejected as a usage error"
+    exit 1
+fi
+if ./target/release/nuca-mcheck --frobnicate >/dev/null 2>&1; then
+    echo "expected an unknown flag to be rejected as a usage error"
+    exit 1
+fi
+./target/release/nuca-mcheck --kind hbo --random 200 --seed 7 >/dev/null
+
 echo "==> ci OK"

@@ -1,0 +1,123 @@
+//! Property 3: eventual acquisition under fair schedules.
+//!
+//! Exhaustive DFS proves safety but says nothing about liveness — an
+//! unfair scheduler may simply never run a waiting thread. The classic
+//! fix is to check progress under *fair* schedules only. Here: strict
+//! round-robin over enabled threads (the canonical fair scheduler),
+//! started once from each thread offset. If the system fails to finish
+//! every thread's acquisitions within [`CheckConfig::fair_budget`] steps,
+//! some thread is starving — for these finite-state lock protocols, a
+//! fair schedule that does not terminate is trapped in a livelock cycle,
+//! which the budget (orders of magnitude above any terminating run)
+//! converts into a detectable [`Violation::Unfair`].
+
+use crate::dfs::Counterexample;
+use crate::world::{Status, World};
+use crate::{CheckConfig, Violation};
+
+/// Statistics from a clean fair-schedule check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairReport {
+    /// Round-robin schedules run (one per starting thread).
+    pub schedules: usize,
+    /// Total steps across all of them.
+    pub steps: u64,
+}
+
+/// Runs one round-robin schedule per starting offset. Returns the first
+/// violation as an (unshrunk — round-robin schedules are already the
+/// readable kind) counterexample.
+///
+/// # Errors
+///
+/// The counterexample for the first violated property, if any.
+pub fn check_fair(cfg: &CheckConfig) -> Result<FairReport, Counterexample> {
+    let n = cfg.cpus;
+    let mut total_steps = 0u64;
+    for start in 0..n {
+        let mut world = World::new(cfg);
+        let mut schedule = Vec::new();
+        let mut cursor = start;
+        loop {
+            match world.status() {
+                Status::Done => {
+                    if let Some(v) = world.final_violation() {
+                        return Err(Counterexample {
+                            violation: v,
+                            schedule,
+                        });
+                    }
+                    break;
+                }
+                Status::Deadlock => {
+                    return Err(Counterexample {
+                        violation: Violation::Deadlock,
+                        schedule,
+                    });
+                }
+                Status::Running => {}
+            }
+            if schedule.len() as u64 >= cfg.fair_budget {
+                // Budget blown: name the thread furthest behind.
+                let thread = (0..n)
+                    .min_by_key(|&t| world.acquires(t))
+                    .expect("at least one thread");
+                return Err(Counterexample {
+                    violation: Violation::Unfair { thread },
+                    schedule,
+                });
+            }
+            // Round-robin: the enabled thread closest after the cursor.
+            let t = (0..n)
+                .map(|d| (cursor + d) % n)
+                .find(|&t| world.enabled(t))
+                .expect("running state has an enabled thread");
+            schedule.push(t);
+            if let Err(v) = world.step(t) {
+                return Err(Counterexample {
+                    violation: v,
+                    schedule,
+                });
+            }
+            cursor = (t + 1) % n;
+        }
+        total_steps += schedule.len() as u64;
+    }
+    Ok(FairReport {
+        schedules: n,
+        steps: total_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Subject;
+
+    #[test]
+    fn all_verified_subjects_terminate_fairly() {
+        for subject in Subject::VERIFIED {
+            let cfg = CheckConfig::new(subject);
+            let report = check_fair(&cfg)
+                .unwrap_or_else(|cex| panic!("{}: {} ({:?})", subject.name(), cex.violation, cex.schedule));
+            assert_eq!(report.schedules, 2);
+            assert!(report.steps > 0);
+        }
+    }
+
+    #[test]
+    fn leaky_mutant_fails_fairness_or_hygiene() {
+        // With two iterations, the leaked slot gates the second acquire of
+        // the node-1 thread: round-robin deadlocks (or surfaces the leak).
+        let cfg = CheckConfig::new(Subject::LeakyHboGt);
+        let cex = check_fair(&cfg).expect_err("mutant must fail");
+        assert!(
+            matches!(
+                cex.violation,
+                Violation::Deadlock | Violation::SlotLeak { .. } | Violation::Unfair { .. }
+            ),
+            "{}",
+            cex.violation
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Bounded-random-schedule fallback for configurations too large to
+//! exhaust.
+//!
+//! Runs `n` schedules, each picking uniformly among the enabled threads
+//! with the in-repo [`SplitMix64`] generator. Everything is derived from
+//! the seed, so a run is byte-reproducible: same seed, same schedules,
+//! same outcome — the property the `--random`/`--seed` CLI contract and
+//! the reproducibility test rely on.
+
+use nucasim::SplitMix64;
+
+use crate::dfs::{self, Counterexample};
+use crate::world::{Status, World};
+use crate::{CheckConfig, Violation};
+
+/// Outcome of a [`check_random`] run. `PartialEq` so reproducibility can
+/// be asserted structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomOutcome {
+    /// Schedules executed (stops early on a violation).
+    pub schedules: u64,
+    /// Total steps across all schedules.
+    pub steps: u64,
+    /// First violation found, shrunk.
+    pub violation: Option<Counterexample>,
+}
+
+impl RandomOutcome {
+    /// Did all sampled schedules pass?
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Runs `n` random schedules seeded with `seed`.
+pub fn check_random(cfg: &CheckConfig, n: u64, seed: u64) -> RandomOutcome {
+    let mut rng = SplitMix64::new(seed);
+    let mut steps = 0u64;
+    for i in 0..n {
+        let mut world = World::new(cfg);
+        let mut schedule: Vec<usize> = Vec::new();
+        let violation = loop {
+            match world.status() {
+                Status::Done => break world.final_violation(),
+                Status::Deadlock => break Some(Violation::Deadlock),
+                Status::Running => {}
+            }
+            if schedule.len() >= cfg.depth {
+                // Truncated schedule: no verdict, move on.
+                break None;
+            }
+            let enabled: Vec<usize> =
+                (0..world.num_threads()).filter(|&t| world.enabled(t)).collect();
+            let t = enabled[rng.next_below(enabled.len() as u64) as usize];
+            schedule.push(t);
+            steps += 1;
+            match world.step(t) {
+                Ok(_) => {}
+                Err(v) => break Some(v),
+            }
+        };
+        if let Some(v) = violation {
+            return RandomOutcome {
+                schedules: i + 1,
+                steps,
+                violation: Some(dfs::shrink_schedule(cfg, v, schedule)),
+            };
+        }
+    }
+    RandomOutcome {
+        schedules: n,
+        steps,
+        violation: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Subject;
+    use hbo_locks::LockKind;
+
+    #[test]
+    fn reproducible_per_seed() {
+        let cfg = CheckConfig::new(Subject::Kind(LockKind::Hbo));
+        let a = check_random(&cfg, 25, 0xFEED);
+        let b = check_random(&cfg, 25, 0xFEED);
+        assert_eq!(a, b, "same seed must give a byte-identical outcome");
+        assert!(a.passed());
+        let c = check_random(&cfg, 25, 0xBEEF);
+        // Different seed: still passing, but (almost surely) different
+        // step totals — the schedules genuinely differ.
+        assert!(c.passed());
+    }
+
+    #[test]
+    fn random_mode_catches_the_racy_mutant() {
+        // The race fires on any schedule that splits one thread's
+        // check/act pair; 64 random schedules find it with near
+        // certainty, deterministically for a fixed seed.
+        let cfg = CheckConfig::new(Subject::RacyTatas);
+        let out = check_random(&cfg, 64, 1);
+        let cex = out.violation.expect("race found");
+        assert!(matches!(cex.violation, Violation::MutualExclusion { .. }));
+    }
+}

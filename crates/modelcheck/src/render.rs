@@ -1,0 +1,142 @@
+//! Counterexample rendering: replay a shrunk schedule through the
+//! `nucasim` trace layer and print it as a readable event log.
+//!
+//! The replay world gets an [`EventLog`] installed, so every trace hook
+//! the sessions fire (backoff sleeps, throttle announcements, anger
+//! episodes, acquire/release) is captured and printed under the step that
+//! produced it — the same vocabulary as a traced simulator run, which is
+//! what makes the counterexample directly comparable to `nucasim` output.
+
+use std::fmt::Write as _;
+
+use nucasim::EventLog;
+
+use crate::dfs::Counterexample;
+use crate::world::{Status, World};
+use crate::{CheckConfig, Violation};
+
+/// Renders `cex` as a multi-line report: header, one line per executed
+/// step (with any trace events indented beneath), and a terminal
+/// explanation of the violated property.
+pub fn render(cfg: &CheckConfig, cex: &Counterexample) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "counterexample for {} (cpus={}, iters={}): {}",
+        cfg.subject.name(),
+        cfg.cpus,
+        cfg.iters,
+        cex.violation
+    );
+    let _ = writeln!(out, "schedule (thread ids): {:?}", cex.schedule);
+
+    let log = EventLog::new();
+    let mut world = World::with_trace(cfg, log.clone());
+    // Session construction may already trace (it does not today, but the
+    // header spot is where such events belong).
+    dump_events(&mut out, &log);
+
+    for (i, &t) in cex.schedule.iter().enumerate() {
+        if t >= world.num_threads() || !world.enabled(t) {
+            let _ = writeln!(out, "#{i:03} t{t} (skipped: not runnable here)");
+            continue;
+        }
+        let (cpu, node, phase) = world.thread_meta(t);
+        let cmd = world.pending(t).expect("enabled implies pending");
+        match world.step(t) {
+            Ok(result) => {
+                let _ = writeln!(
+                    out,
+                    "#{i:03} t{t} cpu{}@node{} {phase:?} {cmd:?} -> {}",
+                    cpu.index(),
+                    node.index(),
+                    match result {
+                        Some(v) => v.to_string(),
+                        None => "()".to_owned(),
+                    }
+                );
+                dump_events(&mut out, &log);
+            }
+            Err(v) => {
+                let _ = writeln!(
+                    out,
+                    "#{i:03} t{t} cpu{}@node{} {phase:?} {cmd:?} -> !! {v}",
+                    cpu.index(),
+                    node.index(),
+                );
+                dump_events(&mut out, &log);
+                return out;
+            }
+        }
+    }
+
+    // The schedule ran out without a step-level violation: the failure is
+    // a property of the final state.
+    match world.status() {
+        Status::Deadlock => {
+            let _ = writeln!(out, "final state: deadlock — every remaining thread is blocked:");
+            for t in 0..world.num_threads() {
+                let (cpu, node, phase) = world.thread_meta(t);
+                match world.pending(t) {
+                    Some(cmd) => {
+                        let _ = writeln!(
+                            out,
+                            "  t{t} cpu{}@node{} {phase:?} blocked on {cmd:?}",
+                            cpu.index(),
+                            node.index(),
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "  t{t} finished all iterations");
+                    }
+                }
+            }
+        }
+        Status::Done => {
+            if let Some(Violation::SlotLeak { slot, value }) = world.final_violation() {
+                let _ = writeln!(
+                    out,
+                    "final state: all threads done, but is_spinning word {slot} \
+                     still holds {value} (a gate no future contender could pass)"
+                );
+            }
+        }
+        Status::Running => {
+            let _ = writeln!(out, "final state: still running (schedule was a prefix)");
+        }
+    }
+    out
+}
+
+fn dump_events(out: &mut String, log: &EventLog) {
+    for rec in log.take() {
+        let _ = writeln!(out, "        trace: {:?}", rec.event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dfs, Subject};
+
+    #[test]
+    fn racy_counterexample_renders_readably() {
+        let cfg = crate::CheckConfig::new(Subject::RacyTatas);
+        let (_, cex) = dfs::explore(&cfg);
+        let cex = cex.expect("race found");
+        let text = render(&cfg, &cex);
+        assert!(text.contains("mutual exclusion"), "{text}");
+        assert!(text.contains("#000"), "{text}");
+        assert!(text.contains("Read"), "{text}");
+        assert!(text.contains("!!"), "{text}");
+    }
+
+    #[test]
+    fn leaky_counterexample_explains_the_terminal_state() {
+        let cfg = crate::CheckConfig::new(Subject::LeakyHboGt);
+        let (_, cex) = dfs::explore(&cfg);
+        let cex = cex.expect("leak found");
+        let text = render(&cfg, &cex);
+        assert!(text.contains("final state:"), "{text}");
+    }
+}

@@ -1,0 +1,533 @@
+//! The checker's world: lock sessions over a flat sequentially-consistent
+//! word store.
+//!
+//! A [`World`] is one configuration of the system: the memory image, each
+//! thread's session state and pending command, and who holds the lock.
+//! Stepping a thread executes its pending command **atomically together
+//! with** the session transition it triggers — the session's local state
+//! is invisible to other threads, so giving it its own interleaving point
+//! would only square the state space without adding behaviors. `Delay`
+//! executes as a no-op, which is exactly what makes the search cover every
+//! ordering that real timing could produce.
+//!
+//! Lock parameters are shrunk to near-trivial backoffs
+//! ([`checker_params`]): backoff values only feed `Delay` (semantically
+//! inert here) but live inside session state, so small caps keep the
+//! reachable state space small without touching the protocol logic.
+
+use std::sync::Arc;
+
+use hbo_locks::{BackoffConfig, LevelBackoff};
+use nuca_topology::{CpuId, NodeId};
+use nucasim::{Addr, Command, CpuCtx, EventLog, Machine, MachineConfig, SimStats};
+use nucasim_locks::{
+    build_lock, mutants, GtSlots, LockSession, SimHierHbo, SimLock, SimLockParams, SimTicket, Step,
+};
+
+use crate::{CheckConfig, Subject, Violation};
+
+/// Lock tunables used for checking: minimal backoffs (delays are no-ops
+/// here, but their counters are session state), a tiny anger threshold so
+/// HBO_GT_SD's starvation machinery is actually reachable, and a tiny RH
+/// handover budget so both release tags are exercised.
+pub fn checker_params() -> SimLockParams {
+    SimLockParams {
+        local: BackoffConfig::new(1, 2, 2),
+        remote: BackoffConfig::new(1, 2, 2),
+        get_angry_limit: 2,
+        rh_max_handovers: 2,
+    }
+}
+
+/// Where a thread is in its acquire/release loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Driving `start_acquire`/`resume_acquire`.
+    Acquire,
+    /// Holding (or releasing): driving `start_release`/`resume_release`.
+    Release,
+    /// All iterations finished.
+    Done,
+}
+
+/// Global progress classification of a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Some thread can step.
+    Running,
+    /// Every thread finished its iterations.
+    Done,
+    /// Not all threads are done, yet none can step.
+    Deadlock,
+}
+
+#[derive(Debug)]
+struct Thread {
+    session: Box<dyn LockSession>,
+    cpu: CpuId,
+    node: NodeId,
+    phase: Phase,
+    pending: Option<Command>,
+    iters_left: u32,
+    acquires: u32,
+}
+
+#[derive(Clone, Copy)]
+enum Call {
+    StartAcquire,
+    ResumeAcquire(Option<u64>),
+    StartRelease,
+    ResumeRelease(Option<u64>),
+    RecordAcquire,
+    RecordRelease,
+}
+
+/// One explorable configuration of lock + contenders.
+#[derive(Debug)]
+pub struct World {
+    mem: Vec<u64>,
+    threads: Vec<Thread>,
+    holder: Option<usize>,
+    clock: u64,
+    stats: SimStats,
+    /// Flat-store indices of the per-node GT `is_spinning` words.
+    slots: Vec<usize>,
+    trace: Option<EventLog>,
+}
+
+impl World {
+    /// Builds the initial world for `cfg` (no tracing).
+    pub fn new(cfg: &CheckConfig) -> World {
+        World::build(cfg, None)
+    }
+
+    /// Builds the initial world with a trace sink installed, so session
+    /// hooks (backoff sleeps, anger episodes, acquire/release) land in
+    /// `log` during replay — the counterexample renderer's input.
+    pub fn with_trace(cfg: &CheckConfig, log: EventLog) -> World {
+        World::build(cfg, Some(log))
+    }
+
+    fn build(cfg: &CheckConfig, trace: Option<EventLog>) -> World {
+        assert!(cfg.cpus >= 1, "need at least one thread");
+        assert!(cfg.iters >= 1, "need at least one iteration");
+        let cpn = cfg.cpus.div_ceil(2).max(1);
+        let mut machine = Machine::new(MachineConfig::wildfire(2, cpn));
+        let topo = Arc::clone(machine.topology());
+        let gt = GtSlots::alloc(machine.mem_mut(), &topo);
+        let params = checker_params();
+        let home = NodeId(0);
+        let lock: Box<dyn SimLock> = match cfg.subject {
+            Subject::Kind(k) => build_lock(k, machine.mem_mut(), &topo, &gt, home, &params),
+            Subject::Ticket => Box::new(SimTicket::alloc(machine.mem_mut(), home)),
+            Subject::Hier => Box::new(SimHierHbo::alloc(
+                machine.mem_mut(),
+                Arc::clone(&topo),
+                home,
+                LevelBackoff::geometric(3, 1, 2, 2),
+            )),
+            Subject::RacyTatas => Box::new(mutants::RacyTatas::alloc(machine.mem_mut(), home)),
+            Subject::LeakyHboGt => Box::new(mutants::LeakyHboGt::alloc(
+                machine.mem_mut(),
+                home,
+                gt.clone(),
+                params.local,
+                params.remote,
+            )),
+        };
+        // Snapshot the allocator's memory image into the flat store (lock
+        // constructors poke initial values, e.g. CLH's tail/dummy and RH's
+        // per-node copies).
+        let mem: Vec<u64> = (0..machine.mem().len())
+            .map(|i| {
+                let addr = Addr::decode(i as u64 + 1).expect("dense address space");
+                machine.mem().peek(addr)
+            })
+            .collect();
+        let slots: Vec<usize> = topo.nodes().map(|n| gt.slot(n).index()).collect();
+
+        let mut threads = Vec::with_capacity(cfg.cpus);
+        let mut per_node = [0usize; 2];
+        for t in 0..cfg.cpus {
+            let node = NodeId(t % 2);
+            let cpu = CpuId(node.index() * cpn + per_node[node.index()]);
+            per_node[node.index()] += 1;
+            debug_assert_eq!(topo.node_of(cpu), node);
+            threads.push(Thread {
+                session: lock.session(cpu, node),
+                cpu,
+                node,
+                phase: Phase::Acquire,
+                pending: None,
+                iters_left: cfg.iters,
+                acquires: 0,
+            });
+        }
+        let mut world = World {
+            mem,
+            threads,
+            holder: None,
+            clock: 0,
+            stats: SimStats::default(),
+            slots,
+            trace,
+        };
+        for t in 0..world.threads.len() {
+            let step = world.call(t, Call::StartAcquire).expect("start yields a step");
+            world
+                .absorb(t, step)
+                .expect("no violation can precede the first command");
+        }
+        world
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Can thread `t` take a step right now? `false` once done, and for a
+    /// pending `WaitWhile` whose watched word still holds the sleep value.
+    pub fn enabled(&self, t: usize) -> bool {
+        match self.threads[t].pending {
+            None => false,
+            Some(Command::WaitWhile { addr, equals }) => self.mem[addr.index()] != equals,
+            Some(_) => true,
+        }
+    }
+
+    /// The command thread `t` would execute next.
+    pub fn pending(&self, t: usize) -> Option<Command> {
+        self.threads[t].pending
+    }
+
+    /// Placement and phase of thread `t`, for rendering.
+    pub fn thread_meta(&self, t: usize) -> (CpuId, NodeId, Phase) {
+        let th = &self.threads[t];
+        (th.cpu, th.node, th.phase)
+    }
+
+    /// Successful acquisitions of thread `t` so far.
+    pub fn acquires(&self, t: usize) -> u32 {
+        self.threads[t].acquires
+    }
+
+    /// Current value of flat-store word `idx`.
+    pub fn peek_word(&self, idx: usize) -> u64 {
+        self.mem[idx]
+    }
+
+    /// Global progress classification.
+    pub fn status(&self) -> Status {
+        let mut all_done = true;
+        let mut any_enabled = false;
+        for (t, th) in self.threads.iter().enumerate() {
+            if th.phase != Phase::Done {
+                all_done = false;
+                if self.enabled(t) {
+                    any_enabled = true;
+                }
+            }
+        }
+        if all_done {
+            Status::Done
+        } else if any_enabled {
+            Status::Running
+        } else {
+            Status::Deadlock
+        }
+    }
+
+    /// Terminal-state check (property 4): once everything is done, every
+    /// GT `is_spinning` slot must be back to 0.
+    pub fn final_violation(&self) -> Option<Violation> {
+        debug_assert_eq!(self.status(), Status::Done);
+        for &slot in &self.slots {
+            let value = self.mem[slot];
+            if value != 0 {
+                return Some(Violation::SlotLeak { slot, value });
+            }
+        }
+        None
+    }
+
+    /// Executes thread `t`'s pending command against the store and feeds
+    /// the result to its session, absorbing session transitions until the
+    /// thread either has a new pending command or is done. Returns the
+    /// executed command's result value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has no pending command (check [`World::enabled`]);
+    /// stepping a *blocked* `WaitWhile` is a checker bug caught by a debug
+    /// assertion.
+    pub fn step(&mut self, t: usize) -> Result<Option<u64>, Violation> {
+        let cmd = self.threads[t]
+            .pending
+            .take()
+            .expect("step on a thread with no pending command");
+        let result = self.exec(cmd);
+        self.clock += 1;
+        let step = match self.threads[t].phase {
+            Phase::Acquire => self.call(t, Call::ResumeAcquire(result)),
+            Phase::Release => self.call(t, Call::ResumeRelease(result)),
+            Phase::Done => unreachable!("done threads have no pending command"),
+        }
+        .expect("resume yields a step");
+        self.absorb(t, step)?;
+        Ok(result)
+    }
+
+    /// Applies `cmd` to the flat store; sequentially consistent because
+    /// there is exactly one store and steps are serialized.
+    fn exec(&mut self, cmd: Command) -> Option<u64> {
+        match cmd {
+            Command::Read(a) => Some(self.mem[a.index()]),
+            Command::Write(a, v) => {
+                let old = self.mem[a.index()];
+                self.mem[a.index()] = v;
+                Some(old)
+            }
+            Command::Cas {
+                addr,
+                expected,
+                new,
+            } => {
+                let old = self.mem[addr.index()];
+                if old == expected {
+                    self.mem[addr.index()] = new;
+                }
+                Some(old)
+            }
+            Command::Swap { addr, value } => {
+                let old = self.mem[addr.index()];
+                self.mem[addr.index()] = value;
+                Some(old)
+            }
+            Command::Tas(a) => {
+                let old = self.mem[a.index()];
+                self.mem[a.index()] = 1;
+                Some(old)
+            }
+            Command::FetchAdd { addr, delta } => {
+                let old = self.mem[addr.index()];
+                self.mem[addr.index()] = old.wrapping_add(delta);
+                Some(old)
+            }
+            // Timing is deliberately absent: a delay is a scheduling
+            // point and nothing else.
+            Command::Delay(_) => None,
+            Command::WaitWhile { addr, equals } => {
+                let v = self.mem[addr.index()];
+                debug_assert_ne!(v, equals, "stepped a blocked WaitWhile");
+                Some(v)
+            }
+            Command::Done => unreachable!("lock sessions never emit Done"),
+        }
+    }
+
+    /// Drives `t`'s session bookkeeping after a step: stores the next
+    /// command, or handles `Acquired`/`Released` (mutual-exclusion check,
+    /// phase flip, next phase start) — all atomic with the step itself.
+    fn absorb(&mut self, t: usize, mut step: Step) -> Result<(), Violation> {
+        loop {
+            match step {
+                Step::Op(cmd) => {
+                    self.threads[t].pending = Some(cmd);
+                    return Ok(());
+                }
+                Step::Acquired => {
+                    if let Some(first) = self.holder {
+                        return Err(Violation::MutualExclusion { first, second: t });
+                    }
+                    self.holder = Some(t);
+                    self.threads[t].acquires += 1;
+                    self.threads[t].phase = Phase::Release;
+                    self.call(t, Call::RecordAcquire);
+                    step = self.call(t, Call::StartRelease).expect("start yields a step");
+                }
+                Step::Released => {
+                    debug_assert_eq!(self.holder, Some(t), "released without holding");
+                    self.holder = None;
+                    self.call(t, Call::RecordRelease);
+                    self.threads[t].iters_left -= 1;
+                    if self.threads[t].iters_left == 0 {
+                        self.threads[t].phase = Phase::Done;
+                        self.threads[t].pending = None;
+                        return Ok(());
+                    }
+                    self.threads[t].phase = Phase::Acquire;
+                    step = self.call(t, Call::StartAcquire).expect("start yields a step");
+                }
+            }
+        }
+    }
+
+    /// Invokes one session entry point (or a pure trace hook) with a
+    /// properly wired [`CpuCtx`].
+    fn call(&mut self, t: usize, what: Call) -> Option<Step> {
+        fn run(
+            session: &mut Box<dyn LockSession>,
+            ctx: &mut CpuCtx<'_>,
+            what: Call,
+        ) -> Option<Step> {
+            match what {
+                Call::StartAcquire => Some(session.start_acquire(ctx)),
+                Call::ResumeAcquire(r) => Some(session.resume_acquire(ctx, r)),
+                Call::StartRelease => Some(session.start_release(ctx)),
+                Call::ResumeRelease(r) => Some(session.resume_release(ctx, r)),
+                Call::RecordAcquire => {
+                    ctx.record_acquire(0);
+                    None
+                }
+                Call::RecordRelease => {
+                    ctx.record_release(0, 0);
+                    None
+                }
+            }
+        }
+        let World {
+            threads,
+            stats,
+            trace,
+            clock,
+            ..
+        } = self;
+        let th = &mut threads[t];
+        match trace.as_mut() {
+            Some(log) => {
+                let mut ctx = CpuCtx::with_trace(th.cpu, th.node, *clock, stats, log);
+                run(&mut th.session, &mut ctx, what)
+            }
+            None => {
+                let mut ctx = CpuCtx::new(th.cpu, th.node, *clock, stats);
+                run(&mut th.session, &mut ctx, what)
+            }
+        }
+    }
+
+    /// Hashes the semantic state — memory image, holder, and every
+    /// thread's phase, pending command, remaining iterations, and full
+    /// session state (via `Debug`, which derives on every session struct
+    /// and therefore covers every field). The clock and statistics are
+    /// deliberately excluded: they are observers, not state.
+    ///
+    /// `buf` is scratch space the caller reuses across calls.
+    pub fn state_key(&self, buf: &mut String) -> u64 {
+        use std::fmt::Write as _;
+        buf.clear();
+        for v in &self.mem {
+            let _ = write!(buf, "{v},");
+        }
+        let _ = write!(buf, "|{:?}|", self.holder);
+        for th in &self.threads {
+            let _ = write!(
+                buf,
+                "{:?}/{:?}/{}/{:?};",
+                th.phase, th.pending, th.iters_left, th.session
+            );
+        }
+        fnv1a(buf.as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbo_locks::LockKind;
+
+    fn cfg(subject: Subject) -> CheckConfig {
+        CheckConfig::new(subject)
+    }
+
+    #[test]
+    fn initial_world_is_running_and_all_enabled() {
+        let w = World::new(&cfg(Subject::Kind(LockKind::Tatas)));
+        assert_eq!(w.status(), Status::Running);
+        assert_eq!(w.num_threads(), 2);
+        assert!(w.enabled(0));
+        assert!(w.enabled(1));
+        assert!(matches!(w.pending(0), Some(Command::Tas(_))));
+    }
+
+    #[test]
+    fn serial_schedule_completes_every_kind() {
+        for subject in Subject::VERIFIED {
+            let cfg = cfg(subject);
+            let mut w = World::new(&cfg);
+            let mut steps = 0u64;
+            'outer: loop {
+                match w.status() {
+                    Status::Done => break,
+                    Status::Deadlock => panic!("{}: deadlock on serial schedule", subject.name()),
+                    Status::Running => {}
+                }
+                for t in 0..w.num_threads() {
+                    if w.enabled(t) {
+                        w.step(t).unwrap_or_else(|v| {
+                            panic!("{}: violation on serial schedule: {v}", subject.name())
+                        });
+                        steps += 1;
+                        assert!(steps < 1_000_000, "{}: runaway", subject.name());
+                        continue 'outer;
+                    }
+                }
+                unreachable!();
+            }
+            assert_eq!(w.final_violation(), None, "{}", subject.name());
+            for t in 0..w.num_threads() {
+                assert_eq!(w.acquires(t), cfg.iters, "{}", subject.name());
+            }
+        }
+    }
+
+    #[test]
+    fn waitwhile_blocks_and_wakes() {
+        // TATAS: let thread 0 take the lock; thread 1's failed TAS parks
+        // it on a WaitWhile that must be disabled until the release.
+        let mut w = World::new(&cfg(Subject::Kind(LockKind::Tatas)));
+        w.step(0).unwrap(); // t0: TAS wins -> holding, release write pending
+        w.step(1).unwrap(); // t1: TAS loses -> WaitWhile(word == HELD)
+        assert!(!w.enabled(1), "t1 must be parked while the lock is held");
+        assert_eq!(w.status(), Status::Running);
+        w.step(0).unwrap(); // t0: release write -> word FREE
+        assert!(w.enabled(1), "release must wake t1");
+    }
+
+    #[test]
+    fn state_key_distinguishes_and_matches() {
+        let c = cfg(Subject::Kind(LockKind::Hbo));
+        let mut buf = String::new();
+        let w1 = World::new(&c);
+        let w2 = World::new(&c);
+        assert_eq!(
+            w1.state_key(&mut buf),
+            w2.state_key(&mut buf),
+            "identical builds hash identically"
+        );
+        let mut w3 = World::new(&c);
+        w3.step(0).unwrap();
+        assert_ne!(w1.state_key(&mut buf), w3.state_key(&mut buf));
+    }
+
+    #[test]
+    fn mutex_violation_detected_on_racy_schedule() {
+        // RacyTatas: read/read/write/write both acquire.
+        let mut w = World::new(&cfg(Subject::RacyTatas));
+        w.step(0).unwrap(); // t0 reads FREE
+        w.step(1).unwrap(); // t1 reads FREE
+        w.step(0).unwrap(); // t0 writes HELD -> acquired
+        let err = w.step(1).unwrap_err(); // t1 writes HELD -> acquired too
+        assert_eq!(err, Violation::MutualExclusion { first: 0, second: 1 });
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end checks for the model checker: every verified lock passes
+//! exhaustively, both seeded mutants are provably caught with stable
+//! shrunk counterexamples, and random mode is byte-reproducible.
+
+use nuca_modelcheck::dfs::replay_violation;
+use nuca_modelcheck::{check, check_random, CheckConfig, Subject, Violation};
+
+#[test]
+fn every_verified_subject_passes_exhaustively_at_two_cpus() {
+    for subject in Subject::VERIFIED {
+        let cfg = CheckConfig::new(subject);
+        let report = check(&cfg);
+        assert!(
+            report.passed(),
+            "{}: {:?}",
+            subject.name(),
+            report.counterexample
+        );
+        assert_eq!(
+            report.stats.truncated,
+            0,
+            "{}: search was depth-truncated, not exhaustive",
+            subject.name()
+        );
+        let fair = report.fair.expect("clean check runs the fair pass");
+        assert!(fair.steps > 0);
+    }
+}
+
+#[test]
+fn racy_tatas_mutant_is_caught_with_a_minimal_witness() {
+    let cfg = CheckConfig::new(Subject::RacyTatas);
+    let report = check(&cfg);
+    let cex = report.counterexample.expect("mutant must be caught");
+    assert!(matches!(cex.violation, Violation::MutualExclusion { .. }));
+    // The shrinker is deterministic; the minimal race is read, read,
+    // claim, claim. A regression here means either the search order or
+    // ddmin changed.
+    assert_eq!(cex.schedule.len(), 4, "{:?}", cex.schedule);
+    // The shrunk schedule replays to the same violation kind with no
+    // skipped entries.
+    let (v, used) = replay_violation(&cfg, &cex.schedule).expect("replayable");
+    assert_eq!(v.kind_str(), cex.violation.kind_str());
+    assert_eq!(used, cex.schedule);
+}
+
+#[test]
+fn leaky_hbo_gt_mutant_is_caught_with_a_stable_witness() {
+    let cfg = CheckConfig::new(Subject::LeakyHboGt);
+    let report = check(&cfg);
+    let cex = report.counterexample.expect("mutant must be caught");
+    // The unclear slot gates the leaker's own next acquire: the search
+    // surfaces it as a deadlock (or, on other orders, a terminal slot
+    // leak).
+    assert!(
+        matches!(cex.violation, Violation::Deadlock | Violation::SlotLeak { .. }),
+        "{}",
+        cex.violation
+    );
+    // Stable shrunk length: acquire/release twice on node 0, announce +
+    // leak + release on node 1, then the blocked re-acquire.
+    assert_eq!(cex.schedule.len(), 12, "{:?}", cex.schedule);
+    let (v, used) = replay_violation(&cfg, &cex.schedule).expect("replayable");
+    assert_eq!(v.kind_str(), cex.violation.kind_str());
+    assert_eq!(used, cex.schedule);
+}
+
+#[test]
+fn exhaustive_and_random_agree_on_the_mutants() {
+    for subject in Subject::MUTANTS {
+        let cfg = CheckConfig::new(subject);
+        let out = check_random(&cfg, 256, 0xD1CE);
+        assert!(
+            !out.passed(),
+            "{}: 256 random schedules missed the seeded bug",
+            subject.name()
+        );
+    }
+}
+
+#[test]
+fn random_mode_is_reproducible_per_seed() {
+    let cfg = CheckConfig::new(Subject::Kind(hbo_locks::LockKind::HboGt));
+    let a = check_random(&cfg, 40, 0xABCD);
+    let b = check_random(&cfg, 40, 0xABCD);
+    assert_eq!(a, b, "same seed must give an identical outcome");
+    let c = check_random(&cfg, 40, 0xABCE);
+    assert!(
+        a.steps != c.steps || a.violation != c.violation || a.schedules != c.schedules,
+        "different seeds should explore differently"
+    );
+}
+
+#[test]
+fn three_cpus_stays_exhaustive_for_the_flat_locks() {
+    // A spot check that the state space stays tractable one notch up.
+    for subject in [Subject::Kind(hbo_locks::LockKind::Tatas), Subject::Ticket] {
+        let mut cfg = CheckConfig::new(subject);
+        cfg.cpus = 3;
+        let report = check(&cfg);
+        assert!(report.passed(), "{:?}", report.counterexample);
+        assert_eq!(report.stats.truncated, 0);
+    }
+}

@@ -91,6 +91,26 @@ impl<'a> CpuCtx<'a> {
         }
     }
 
+    /// Builds a standalone context with a trace sink installed, for
+    /// replaying lock sessions through the trace layer outside a
+    /// [`crate::Machine`] — e.g. the `nuca-mcheck` counterexample renderer.
+    pub fn with_trace(
+        cpu: CpuId,
+        node: NodeId,
+        now: u64,
+        stats: &'a mut SimStats,
+        trace: &'a mut (dyn TraceSink + 'static),
+    ) -> CpuCtx<'a> {
+        CpuCtx {
+            cpu,
+            node,
+            now,
+            stats,
+            trace: Some(trace),
+            faults: None,
+        }
+    }
+
     /// Records a successful lock acquisition for the paper's node-handoff
     /// statistics (Figs. 3 and 5, right panels). `lock` is a workload-
     /// chosen dense index.

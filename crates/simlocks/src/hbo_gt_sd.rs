@@ -245,9 +245,16 @@ impl LockSession for SdSession {
                     // Fig. 2 lines 51–55.
                     return self.begin_clears(AfterClears::Restart);
                 }
-                // Fig. 2 lines 57–63: still remote — get angrier.
+                // Fig. 2 lines 57–63: still remote — get angrier. The
+                // counter resets on each episode rather than growing
+                // forever: `n == limit` after a reset fires at exactly the
+                // same attempts as `n % limit == 0` on a monotone counter,
+                // and a bounded counter keeps the session's state space
+                // finite (required by the `nuca-mcheck` model checker's
+                // state-hash dedup to terminate).
                 self.get_angry += 1;
-                if self.get_angry.is_multiple_of(self.limit) {
+                if self.get_angry == self.limit {
+                    self.get_angry = 0;
                     ctx.record_got_angry();
                     // Measure 1: spin more frequently.
                     self.backoff.reset(self.local);

@@ -48,6 +48,7 @@ mod hbo_gt;
 mod hbo_gt_sd;
 mod hier;
 mod mcs;
+pub mod mutants;
 mod rh;
 mod tatas;
 mod ticket;

@@ -258,7 +258,11 @@ impl LockSession for RhSession {
                     ctx.trace_backoff(d, BackoffClass::Remote);
                     Step::Op(Command::Delay(d))
                 } else {
-                    self.failures += 1;
+                    // Saturate at the patience threshold: only `>=
+                    // REMOTE_PATIENCE` is ever observed, and a bounded
+                    // counter keeps the session's state space finite for
+                    // the `nuca-mcheck` model checker.
+                    self.failures = (self.failures + 1).min(REMOTE_PATIENCE);
                     self.state = RhState::FishPause;
                     let d = self.backoff.next_delay();
                     ctx.trace_backoff(d, BackoffClass::Remote);

@@ -59,6 +59,36 @@ else
     echo "python3 not found; skipping JSON parse validation"
 fi
 
+echo "==> scheduler smoke (wheel/heap byte-identical, soft perf gate)"
+./target/release/experiments fig5 --fast --jobs 2 --sched heap \
+    --out target/ci-sched-heap >/dev/null
+./target/release/experiments fig5 --fast --jobs 2 --sched wheel \
+    --out target/ci-sched-wheel >/dev/null
+cmp target/ci-sched-heap/fig5_time.tsv target/ci-sched-wheel/fig5_time.tsv
+cmp target/ci-sched-heap/fig5_handoff.tsv target/ci-sched-wheel/fig5_handoff.tsv
+if ./target/release/experiments fig5 --sched splay >/dev/null 2>&1; then
+    echo "expected an unknown --sched name to be rejected as a usage error"
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+# Soft throughput gate: compare the fast-scale smoke run against the
+# checked-in full-scale baseline. Events/sec is scale-independent enough
+# for a coarse gate; CI boxes are noisy, so a shortfall only *fails* past
+# 30%, and anything between baseline and -30% just warns.
+import json
+base = json.load(open("BENCH_harness.json"))["sim_events_per_sec"]
+now = json.load(open("target/ci-experiments/bench.json"))["sim_events_per_sec"]
+ratio = now / base
+line = f"events/s: smoke {now/1e6:.1f}M vs baseline {base/1e6:.1f}M ({ratio:.2f}x)"
+if ratio < 0.7:
+    raise SystemExit(f"FAIL {line} - >30% regression")
+print(("WARN " if ratio < 1.0 else "OK ") + line)
+EOF
+else
+    echo "python3 not found; skipping events/s gate"
+fi
+
 echo "==> model checker smoke (exhaustive pass, mutants caught, usage errors)"
 ./target/release/nuca-mcheck --kind all --cpus 2 \
     --bench-json target/ci-experiments/mcheck.json

@@ -1,0 +1,79 @@
+//! Scheduler-in-isolation: replay a recorded fig5 event trace against
+//! each [`EventQueue`] implementation.
+//!
+//! In-engine comparisons mix scheduler cost with program and memory
+//! simulation; this bench isolates the queues on a *genuine* event mix —
+//! the exact push/pop sequence a fig5 cell (28 processors, HBO,
+//! critical_work=1500) issues — rather than a synthetic distribution.
+//! The replay checksums popped times so the queues cannot be optimized
+//! away and a divergent queue fails loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hbo_locks::LockKind;
+use nuca_workloads::modern::{run_modern_recorded, ModernConfig};
+use nucasim::sched::{BinHeapQueue, EventQueue, TimeWheel};
+use nucasim::{MachineConfig, SchedOp};
+
+/// Records the scheduler-operation stream of one fig5 grid cell.
+fn record_fig5_trace() -> Vec<SchedOp> {
+    let cfg = ModernConfig {
+        kind: LockKind::Hbo,
+        machine: MachineConfig::wildfire(2, 14),
+        threads: 28,
+        iterations: 10,
+        critical_work: 1500,
+        ..ModernConfig::default()
+    };
+    let (_, ops) = run_modern_recorded(&cfg);
+    assert!(!ops.is_empty(), "recording captured no scheduler ops");
+    ops
+}
+
+/// Replays `ops` through `q`, returning a checksum of popped times.
+fn replay(q: &mut impl EventQueue, ops: &[SchedOp]) -> u64 {
+    let mut acc = 0u64;
+    for op in ops {
+        match *op {
+            SchedOp::Push { t, cpu } => q.push(t, cpu),
+            SchedOp::Pop => {
+                let (t, cpu) = q.pop().expect("trace pops only recorded successes");
+                acc = acc.wrapping_mul(31).wrapping_add(t ^ u64::from(cpu));
+            }
+        }
+    }
+    acc
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let ops = record_fig5_trace();
+
+    // Both queues must agree on the full pop sequence before we time them.
+    let expect = replay(&mut BinHeapQueue::new(), &ops);
+    assert_eq!(
+        replay(&mut TimeWheel::new(), &ops),
+        expect,
+        "wheel and heap disagree on the recorded fig5 trace"
+    );
+
+    let mut group = c.benchmark_group("sched_replay_fig5");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut q = BinHeapQueue::new();
+            std::hint::black_box(replay(&mut q, &ops))
+        });
+    });
+    group.bench_function("wheel", |b| {
+        b.iter(|| {
+            let mut q = TimeWheel::new();
+            std::hint::black_box(replay(&mut q, &ops))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! experiments fig5 table2       # selected artifacts
 //! experiments all --fast        # smoke-test scale
 //! experiments all --jobs 4      # bound parallel simulation jobs
+//! experiments all --sched heap  # reference scheduler (A/B vs wheel)
 //! experiments all --bench-json BENCH_harness.json
 //! experiments fig5 --trace t.json --metrics-json m.json  # observability
 //! experiments --list            # artifact inventory
@@ -19,8 +20,8 @@ use nuca_experiments::{run_experiment, runner, tracecap, Report, Scale, EXPERIME
 use nuca_experiments::UnknownExperiment;
 
 const USAGE: &str = "usage: experiments [--fast] [--out DIR] [--jobs N] \
-     [--bench-json PATH] [--trace PATH] [--metrics-json PATH] \
-     <id>... | all | --list";
+     [--sched wheel|heap|check] [--bench-json PATH] [--trace PATH] \
+     [--metrics-json PATH] <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +45,14 @@ fn main() -> ExitCode {
             },
             "--jobs" => match nuca_experiments::cli::parse_jobs(iter.next().as_deref()) {
                 Ok(n) => runner::set_max_jobs(n),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sched" => match nuca_experiments::cli::parse_sched(iter.next().as_deref()) {
+                Ok(kind) => nucasim::set_default_sched(kind),
                 Err(msg) => {
                     eprintln!("{msg}");
                     eprintln!("{USAGE}");

@@ -1,0 +1,48 @@
+//! Regression test for the scheduler swap's core guarantee: every
+//! artifact's TSV bytes are identical whichever event scheduler produced
+//! them. The time wheel is a pure speed optimization — any divergence
+//! from the reference heap is a tie-break bug, not a tuning choice.
+
+use std::sync::Mutex;
+
+use nuca_experiments::{run_experiment, Scale, EXPERIMENTS, EXTENSIONS};
+use nucasim::SchedKind;
+
+/// Serializes the tests in this file: they flip the process-global
+/// scheduler default.
+static SCHED_LOCK: Mutex<()> = Mutex::new(());
+
+/// Renders every report of `id` at fast scale under `kind`.
+fn tsv_bytes(id: &str, kind: SchedKind) -> Vec<String> {
+    nucasim::set_default_sched(kind);
+    let reports = run_experiment(id, Scale::Fast).expect("known artifact");
+    nucasim::set_default_sched(SchedKind::default());
+    reports.iter().map(|r| r.to_tsv()).collect()
+}
+
+/// One sweep (not one test per artifact): each artifact pair must run
+/// back-to-back under the lock so no concurrent test flips the default.
+#[test]
+fn every_artifact_tsv_identical_across_schedulers() {
+    let _guard = SCHED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for id in EXPERIMENTS.iter().chain(EXTENSIONS.iter()) {
+        let heap = tsv_bytes(id, SchedKind::Heap);
+        let wheel = tsv_bytes(id, SchedKind::Wheel);
+        assert_eq!(heap, wheel, "{id}: wheel diverges from reference heap");
+    }
+}
+
+/// The lockstep cross-check mode asserts pop-by-pop agreement internally;
+/// running the two most scheduler-hostile artifacts through it (deep
+/// backoff sweeps in fig5, preemption storms in table4) is the strongest
+/// single determinism probe the harness has. `robustness` adds the
+/// fault-injected sweep (holder preemption, migration, slow node, jitter).
+#[test]
+fn check_mode_passes_hostile_artifacts() {
+    let _guard = SCHED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for id in ["fig5", "table4", "robustness"] {
+        let checked = tsv_bytes(id, SchedKind::Check);
+        let reference = tsv_bytes(id, SchedKind::Heap);
+        assert_eq!(checked, reference, "{id}: check mode diverges");
+    }
+}

@@ -1,9 +1,61 @@
-//! Machine configuration: topology, latency model, preemption, seed.
+//! Machine configuration: topology, latency model, scheduler, preemption,
+//! seed.
+
+use std::fmt;
+use std::str::FromStr;
 
 use nuca_topology::Topology;
 
 use crate::faults::FaultConfig;
 use crate::preempt::PreemptionConfig;
+
+/// Which event scheduler the engine uses (see [`crate::sched`]).
+///
+/// All three produce byte-identical simulations; they differ only in
+/// speed and in how much self-validation they do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedKind {
+    /// Hierarchical time wheel with heap-backed overflow — O(1) per event,
+    /// the production scheduler.
+    #[default]
+    Wheel,
+    /// The reference `BinaryHeap` scheduler — O(log n) per event.
+    Heap,
+    /// Runs wheel and heap in lockstep, asserting every pop agrees
+    /// (validation mode; slowest).
+    Check,
+}
+
+impl SchedKind {
+    /// Every scheduler kind, in CLI-listing order.
+    pub const ALL: [SchedKind; 3] = [SchedKind::Wheel, SchedKind::Heap, SchedKind::Check];
+
+    /// The CLI name (`wheel`, `heap`, `check`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Wheel => "wheel",
+            SchedKind::Heap => "heap",
+            SchedKind::Check => "check",
+        }
+    }
+}
+
+impl fmt::Display for SchedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SchedKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SchedKind, String> {
+        SchedKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown scheduler '{s}' (expected wheel, heap or check)"))
+    }
+}
 
 /// Unloaded latencies and occupancies of the simulated memory system, in
 /// cycles (4 ns each at the 250 MHz clock).
@@ -206,6 +258,11 @@ pub struct MachineConfig {
     /// Injected fault layers; `None` (or [`FaultConfig::none`]) runs
     /// undisturbed.
     pub faults: Option<FaultConfig>,
+    /// Event scheduler; `None` uses the process-wide default
+    /// ([`crate::default_sched`], normally [`SchedKind::Wheel`]). The
+    /// choice never affects results, only speed — the harness `--sched`
+    /// flag flips the default for A/B runs.
+    pub sched: Option<SchedKind>,
     /// Seed for all engine-internal randomness.
     pub seed: u64,
 }
@@ -218,6 +275,7 @@ impl MachineConfig {
             latency: LatencyModel::wildfire(),
             preemption: None,
             faults: None,
+            sched: None,
             seed: 0x5EED,
         }
     }
@@ -229,6 +287,7 @@ impl MachineConfig {
             latency: LatencyModel::e6000(),
             preemption: None,
             faults: None,
+            sched: None,
             seed: 0x5EED,
         }
     }
@@ -267,6 +326,14 @@ impl MachineConfig {
             panic!("invalid fault config: {msg}");
         }
         self.faults = Some(f);
+        self
+    }
+
+    /// Selects the event scheduler explicitly (overriding the process
+    /// default for this machine only).
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedKind) -> MachineConfig {
+        self.sched = Some(sched);
         self
     }
 

@@ -1,7 +1,5 @@
 //! The discrete-event engine driving simulated CPUs.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,21 +11,42 @@ use crate::mem::{Addr, MemOp, MemorySystem};
 use crate::preempt::PreemptState;
 use crate::program::{Command, CpuCtx, Program};
 use crate::rng::SplitMix64;
+use crate::sched::{RecordingQueue, SchedOpLog, SchedQueue};
 use crate::stats::{LockTrace, SimStats, TrafficCounts};
 use crate::trace::{SimEvent, TraceSink};
 
-struct CpuSlot {
-    program: Option<Box<dyn Program>>,
-    /// Value to hand to the next `resume`.
-    pending: Option<u64>,
-    /// Simulated time at which the program returned `Done`.
-    finished_at: Option<u64>,
+/// Per-CPU scheduler/program state, struct-of-arrays: the hot loop
+/// touches `pending` and `programs` on every event, `finished_at` only at
+/// program exit — splitting them keeps the per-event working set dense.
+struct CpuStates {
+    programs: Vec<Option<Box<dyn Program>>>,
+    /// Value to hand to each CPU's next `resume`.
+    pending: Vec<Option<u64>>,
+    /// Simulated time at which each CPU's program returned `Done`.
+    finished_at: Vec<Option<u64>>,
 }
 
-impl fmt::Debug for CpuSlot {
+impl CpuStates {
+    fn new(n: usize) -> CpuStates {
+        CpuStates {
+            programs: (0..n).map(|_| None).collect(),
+            pending: vec![None; n],
+            finished_at: vec![None; n],
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.programs.iter().all(|p| p.is_none())
+    }
+}
+
+impl fmt::Debug for CpuStates {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CpuSlot")
-            .field("running", &self.program.is_some())
+        f.debug_struct("CpuStates")
+            .field(
+                "running",
+                &self.programs.iter().filter(|p| p.is_some()).count(),
+            )
             .field("finished_at", &self.finished_at)
             .finish()
     }
@@ -134,11 +153,12 @@ pub struct Machine {
     topo: Arc<Topology>,
     mem: MemorySystem,
     stats: SimStats,
-    cpus: Vec<CpuSlot>,
-    /// Min-heap of `(time, seq, cpu)` resume events.
-    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    cpus: CpuStates,
+    /// Pending `(time, cpu)` resume events — time wheel by default, the
+    /// reference heap or the cross-checking pair via
+    /// [`MachineConfig::sched`] (see [`crate::sched`]).
+    queue: SchedQueue,
     time: u64,
-    seq: u64,
     preempt: Option<PreemptState>,
     /// Engine-side fault layers (holder-preempt bursts, migration).
     /// `None` whenever fault injection is off — the hot path then pays a
@@ -184,21 +204,15 @@ impl Machine {
             }
             FaultState::new(&f, topo.num_cpus(), &mut rng)
         });
-        let cpus = (0..topo.num_cpus())
-            .map(|_| CpuSlot {
-                program: None,
-                pending: None,
-                finished_at: None,
-            })
-            .collect();
+        let cpus = CpuStates::new(topo.num_cpus());
+        let queue = SchedQueue::new(cfg.sched.unwrap_or_else(crate::default_sched));
         Machine {
             mem,
             topo,
             stats: SimStats::new(),
             cpus,
-            heap: BinaryHeap::new(),
+            queue,
             time: 0,
-            seq: 0,
             preempt,
             faults,
             woken_buf: Vec::new(),
@@ -216,6 +230,34 @@ impl Machine {
     /// Removes and returns the installed trace sink, if any.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Replaces the scheduler with a recording wheel and returns the
+    /// cloneable op log: every subsequent push/pop is captured as a
+    /// [`crate::SchedOp`] for offline replay (the scheduler
+    /// microbenchmarks). Must be called before any program is added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already queued.
+    pub fn record_sched_ops(&mut self) -> SchedOpLog {
+        let log = SchedOpLog::new();
+        self.record_sched_ops_into(log.clone());
+        log
+    }
+
+    /// Like [`record_sched_ops`](Machine::record_sched_ops), but appends
+    /// into a caller-supplied log (so several runs can share one stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already queued.
+    pub fn record_sched_ops_into(&mut self, log: SchedOpLog) {
+        assert!(
+            self.queue.is_empty(),
+            "install the scheduler recorder before adding programs"
+        );
+        self.queue = SchedQueue::Record(RecordingQueue::new(log));
     }
 
     /// The machine's topology.
@@ -246,17 +288,12 @@ impl Machine {
     ///
     /// Panics if `cpu` is outside the topology or already runs a program.
     pub fn add_program(&mut self, cpu: CpuId, program: Box<dyn Program>) {
-        let slot = &mut self.cpus[cpu.index()];
-        assert!(slot.program.is_none(), "{cpu} already has a program");
-        slot.program = Some(program);
-        slot.pending = None;
-        slot.finished_at = None;
-        self.push_event(self.time, cpu.index());
-    }
-
-    fn push_event(&mut self, t: u64, cpu: usize) {
-        self.seq += 1;
-        self.heap.push(Reverse((t, self.seq, cpu)));
+        let i = cpu.index();
+        assert!(self.cpus.programs[i].is_none(), "{cpu} already has a program");
+        self.cpus.programs[i] = Some(program);
+        self.cpus.pending[i] = None;
+        self.cpus.finished_at[i] = None;
+        self.queue.push(self.time, i as u32);
     }
 
     /// Slides `t` past any preemption window on `cpu`.
@@ -318,12 +355,14 @@ impl Machine {
     }
 
     /// Schedules a resume at `t`, sliding past faults and preemption
-    /// windows.
-    fn schedule_resume(&mut self, cpu: usize, t: u64, value: Option<u64>) {
+    /// windows. Returns the time actually queued so the run loop can keep
+    /// its cached view of the queue head current.
+    fn schedule_resume(&mut self, cpu: usize, t: u64, value: Option<u64>) -> u64 {
         let t = self.apply_faults(cpu, t);
         let t = self.adjust_preempt(cpu, t);
-        self.cpus[cpu].pending = value;
-        self.push_event(t, cpu);
+        self.cpus.pending[cpu] = value;
+        self.queue.push(t, cpu as u32);
+        t
     }
 
     /// Runs until every program finishes or `limit` cycles elapse.
@@ -339,23 +378,34 @@ impl Machine {
     /// compare against the straightforward heap-everything reference.
     fn run_with(&mut self, limit: u64, inline_resume: bool) -> RunStatus {
         let mut events = 0u64;
-        'outer: while let Some(&Reverse((head_t, _, _))) = self.heap.peek() {
-            if head_t > limit {
-                break;
-            }
-            let Reverse((mut t, _, cpu)) = self.heap.pop().expect("peeked");
+        #[cfg(feature = "selftime")]
+        let total0 = crate::selftime::now();
+        'outer: loop {
+            #[cfg(feature = "selftime")]
+            let q0 = crate::selftime::now();
+            let popped = self.queue.pop_at_most(limit);
+            #[cfg(feature = "selftime")]
+            crate::selftime::add(&crate::selftime::QUEUE, q0);
+            let Some((mut t, cpu)) = popped else { break };
+            let cpu = cpu as usize;
+            // Queue head, cached across the inline-resume burst below. Only
+            // watcher wakes push while the burst runs, and those go through
+            // `schedule_resume`, whose return value keeps the cache exact.
+            let mut head = self.queue.next_time();
             // Inline-resume fast path (classic DES lazy insertion): keep
-            // driving this CPU without a heap round-trip for as long as
+            // driving this CPU without a queue round-trip for as long as
             // its next event *strictly* precedes everything queued. Ties
-            // must go through the heap, where the older sequence number
-            // wins, so event order is exactly the reference order.
+            // must go through the queue, where insertion order wins, so
+            // event order is exactly the reference order.
             loop {
                 self.time = t;
-                let Some(mut program) = self.cpus[cpu].program.take() else {
+                let Some(mut program) = self.cpus.programs[cpu].take() else {
                     continue 'outer; // stale event for a finished CPU
                 };
-                let last = self.cpus[cpu].pending.take();
+                let last = self.cpus.pending[cpu].take();
                 events += 1;
+                #[cfg(feature = "selftime")]
+                let r0 = crate::selftime::now();
                 let command = {
                     // The *current* node — an injected migration may have
                     // moved this thread off its topology home.
@@ -370,26 +420,33 @@ impl Machine {
                     };
                     program.resume(&mut ctx, last)
                 };
+                #[cfg(feature = "selftime")]
+                crate::selftime::add(&crate::selftime::RESUME, r0);
                 let (next_at, next_value) = match command {
                     Command::Done => {
-                        self.cpus[cpu].finished_at = Some(t);
+                        self.cpus.finished_at[cpu] = Some(t);
                         // program dropped
                         continue 'outer;
                     }
                     Command::Delay(d) => (t + d.max(1), None),
                     Command::WaitWhile { addr, equals } => {
-                        match self.mem.wait_while(
+                        #[cfg(feature = "selftime")]
+                        let m0 = crate::selftime::now();
+                        let res = self.mem.wait_while(
                             t,
                             CpuId(cpu),
                             addr,
                             equals,
                             &mut self.stats,
                             self.trace.as_deref_mut(),
-                        ) {
+                        );
+                        #[cfg(feature = "selftime")]
+                        crate::selftime::add(&crate::selftime::MEM, m0);
+                        match res {
                             Some((done, v)) => (done, Some(v)),
                             None => {
                                 // Parked: a future write wakes this CPU.
-                                self.cpus[cpu].program = Some(program);
+                                self.cpus.programs[cpu] = Some(program);
                                 continue 'outer;
                             }
                         }
@@ -409,6 +466,8 @@ impl Machine {
                             _ => unreachable!("non-memory commands handled above"),
                         };
                         let mut woken = std::mem::take(&mut self.woken_buf);
+                        #[cfg(feature = "selftime")]
+                        let m0 = crate::selftime::now();
                         let out = self.mem.access(
                             t,
                             CpuId(cpu),
@@ -418,36 +477,35 @@ impl Machine {
                             self.trace.as_deref_mut(),
                             &mut woken,
                         );
+                        #[cfg(feature = "selftime")]
+                        crate::selftime::add(&crate::selftime::MEM, m0);
                         // Wake any watchers first so their events are ordered.
                         for &(wcpu, wake_at, wval) in &woken {
-                            self.schedule_resume(wcpu.index(), wake_at, Some(wval));
+                            let queued = self.schedule_resume(wcpu.index(), wake_at, Some(wval));
+                            head = Some(head.map_or(queued, |h| h.min(queued)));
                         }
                         woken.clear();
                         self.woken_buf = woken;
                         (out.complete_at, Some(out.value))
                     }
                 };
-                self.cpus[cpu].program = Some(program);
+                self.cpus.programs[cpu] = Some(program);
                 let faulted = self.apply_faults(cpu, next_at);
                 let adj = self.adjust_preempt(cpu, faulted);
-                if inline_resume
-                    && adj <= limit
-                    && self
-                        .heap
-                        .peek()
-                        .is_none_or(|&Reverse((ht, _, _))| adj < ht)
-                {
+                if inline_resume && adj <= limit && head.is_none_or(|ht| adj < ht) {
                     // Nothing can run before this CPU's continuation:
                     // resume it directly.
-                    self.cpus[cpu].pending = next_value;
+                    self.cpus.pending[cpu] = next_value;
                     t = adj;
                     continue;
                 }
-                self.cpus[cpu].pending = next_value;
-                self.push_event(adj, cpu);
+                self.cpus.pending[cpu] = next_value;
+                self.queue.push(adj, cpu as u32);
                 continue 'outer;
             }
         }
+        #[cfg(feature = "selftime")]
+        crate::selftime::add(&crate::selftime::TOTAL, total0);
         self.stats.add_events(events);
         crate::add_sim_events(events);
 
@@ -455,7 +513,7 @@ impl Machine {
         // CPUs that never received a program do not count against the run.
         RunStatus {
             end_time: self.time,
-            finished_all: self.cpus.iter().all(|c| c.program.is_none()),
+            finished_all: self.cpus.all_done(),
         }
     }
 
@@ -465,8 +523,8 @@ impl Machine {
     /// memory values are materialized once, here — keeping repeated
     /// [`Machine::run`] continuations free of per-call copying.
     pub fn into_report(mut self) -> SimReport {
-        let finish_times: Vec<Option<u64>> = self.cpus.iter().map(|c| c.finished_at).collect();
-        let finished_all = self.cpus.iter().all(|c| c.program.is_none());
+        let finish_times = self.cpus.finished_at.clone();
+        let finished_all = self.cpus.all_done();
         SimReport {
             end_time: self.time,
             finished_all,
@@ -889,7 +947,16 @@ mod tests {
 
     /// One contended-counter report, with an arbitrary fault surface.
     fn faulted_report(faults: Option<crate::FaultConfig>) -> SimReport {
+        faulted_report_sched(faults, None)
+    }
+
+    /// [`faulted_report`] under an explicit event scheduler.
+    fn faulted_report_sched(
+        faults: Option<crate::FaultConfig>,
+        sched: Option<crate::SchedKind>,
+    ) -> SimReport {
         let mut cfg = MachineConfig::wildfire(2, 4).with_seed(13);
+        cfg.sched = sched;
         if let Some(f) = faults {
             cfg.faults = Some(f);
         }
@@ -929,6 +996,34 @@ mod tests {
         let r = m.into_report();
         assert_eq!(r.final_value(Addr(0)), 400, "no increments lost to faults");
         r
+    }
+
+    /// Tie-break regression under injected faults: holder-preempt bursts
+    /// and migrations reschedule resumes at collision-prone times, so any
+    /// wheel/heap ordering divergence shows up as a different timeline.
+    /// `Check` additionally asserts pop-by-pop agreement.
+    #[test]
+    fn schedulers_agree_under_preempt_and_migration_faults() {
+        let fcfg = || {
+            crate::FaultConfig::none()
+                .with_holder_preempt(crate::HolderPreemptConfig {
+                    per_mille: 500,
+                    quantum: 10_000,
+                })
+                .with_migration(crate::MigrationConfig { mean_gap: 50_000, pause: 1_000 })
+        };
+        let heap = faulted_report_sched(Some(fcfg()), Some(crate::SchedKind::Heap));
+        let wheel = faulted_report_sched(Some(fcfg()), Some(crate::SchedKind::Wheel));
+        let check = faulted_report_sched(Some(fcfg()), Some(crate::SchedKind::Check));
+        assert!(heap.preemptions > 0 && heap.migrations > 0, "faults fired");
+        for other in [&wheel, &check] {
+            assert_eq!(heap.end_time, other.end_time);
+            assert_eq!(heap.traffic, other.traffic);
+            assert_eq!(heap.finish_times, other.finish_times);
+            assert_eq!(heap.events, other.events);
+            assert_eq!(heap.preemptions, other.preemptions);
+            assert_eq!(heap.migrations, other.migrations);
+        }
     }
 
     #[test]

@@ -75,10 +75,14 @@ mod metrics;
 mod preempt;
 mod program;
 mod rng;
+pub mod sched;
+#[cfg(feature = "selftime")]
+pub mod selftime;
 mod stats;
 mod trace;
 
-pub use config::{LatencyModel, MachineConfig};
+pub use config::{LatencyModel, MachineConfig, SchedKind};
+pub use sched::{SchedOp, SchedOpLog};
 pub use engine::{Machine, RunStatus, SimReport};
 pub use faults::{
     FaultConfig, HolderPreemptConfig, JitterConfig, MigrationConfig, SlowNodeConfig,
@@ -126,4 +130,22 @@ pub(crate) fn add_sim_events(n: u64) {
 /// events/sec from exactly this counter).
 pub fn sim_events_total() -> u64 {
     SIM_EVENTS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Process-wide default event scheduler, used by every
+/// [`MachineConfig`] whose `sched` field is `None`. Encoded as the index
+/// into [`SchedKind::ALL`]; defaults to the wheel.
+static DEFAULT_SCHED: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Sets the process-wide default scheduler (the harness `--sched` flag).
+/// Machines built afterwards without an explicit `sched` use `kind`. The
+/// choice never affects simulation results, only wall-clock speed.
+pub fn set_default_sched(kind: SchedKind) {
+    let idx = SchedKind::ALL.iter().position(|&k| k == kind).expect("in ALL") as u8;
+    DEFAULT_SCHED.store(idx, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current process-wide default scheduler.
+pub fn default_sched() -> SchedKind {
+    SchedKind::ALL[DEFAULT_SCHED.load(std::sync::atomic::Ordering::Relaxed) as usize]
 }

@@ -10,6 +10,17 @@
 //! value registers interest and sleeps; the next conflicting write wakes it
 //! with a refill transaction (invalidate + re-fetch), exactly the cost
 //! structure of test-and-test&set spinning on real coherent hardware.
+//!
+//! # Layout
+//!
+//! Per-line state is struct-of-arrays: one dense array per field, indexed
+//! by [`Addr`]. The hot benchmark pattern — a critical section sweeping a
+//! run of consecutively allocated lines — then walks each array
+//! sequentially instead of striding over fat per-line structs, and the
+//! fields an access never touches (watcher chains, homes) cost no cache
+//! traffic. Watcher lists are FIFO chains through one shared node arena
+//! with a freelist, so parking and waking spinners allocates nothing in
+//! the steady state.
 
 use std::fmt;
 use std::sync::Arc;
@@ -109,116 +120,19 @@ enum Source {
     RemoteMemory,
 }
 
-#[derive(Debug)]
-struct Line {
-    home: NodeId,
-    value: u64,
-    /// CPU holding the line modified/exclusive.
-    owner: Option<CpuId>,
-    /// CPUs holding shared copies (bitmask; the simulator supports up to
-    /// 128 CPUs, more than the largest machine in the paper).
-    sharers: u128,
-    /// Time until which the line's coherence agent is busy.
-    busy_until: u64,
-    /// CPUs sleeping until this line's value changes, with the value they
-    /// are waiting to see change.
-    watchers: WatcherList,
-}
+/// "No exclusive owner" sentinel in [`MemorySystem::owners`].
+const NO_OWNER: u32 = u32::MAX;
+/// Null link / empty-chain sentinel for watcher arena indices.
+const WNIL: u32 = u32::MAX;
 
+/// One parked spinner in the watcher arena. Freed nodes chain through
+/// `next` onto the freelist.
 #[derive(Debug, Clone, Copy)]
-struct Watcher {
-    cpu: CpuId,
+struct WatchNode {
     /// Wake when the line's value differs from this.
     equals: u64,
-}
-
-impl Watcher {
-    /// Placeholder filling unused inline slots.
-    const NULL: Watcher = Watcher {
-        cpu: CpuId(0),
-        equals: 0,
-    };
-}
-
-/// Number of watchers a line stores without heap allocation. Most lines
-/// have zero or a handful of spinners at any instant; only a heavily
-/// contended lock word spills.
-const INLINE_WATCHERS: usize = 4;
-
-/// Small-vector of [`Watcher`]s: up to [`INLINE_WATCHERS`] entries live
-/// inline in the [`Line`]; beyond that the list spills to a `Vec` and stays
-/// spilled (retaining its capacity across wake bursts).
-#[derive(Debug)]
-enum WatcherList {
-    Inline {
-        len: u8,
-        buf: [Watcher; INLINE_WATCHERS],
-    },
-    Spilled(Vec<Watcher>),
-}
-
-impl WatcherList {
-    const EMPTY: WatcherList = WatcherList::Inline {
-        len: 0,
-        buf: [Watcher::NULL; INLINE_WATCHERS],
-    };
-
-    fn len(&self) -> usize {
-        match self {
-            WatcherList::Inline { len, .. } => usize::from(*len),
-            WatcherList::Spilled(v) => v.len(),
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    fn push(&mut self, w: Watcher) {
-        match self {
-            WatcherList::Inline { len, buf } => {
-                let n = usize::from(*len);
-                if n < INLINE_WATCHERS {
-                    buf[n] = w;
-                    *len += 1;
-                } else {
-                    let mut v = Vec::with_capacity(INLINE_WATCHERS * 2);
-                    v.extend_from_slice(buf);
-                    v.push(w);
-                    *self = WatcherList::Spilled(v);
-                }
-            }
-            WatcherList::Spilled(v) => v.push(w),
-        }
-    }
-
-    fn as_slice(&self) -> &[Watcher] {
-        match self {
-            WatcherList::Inline { len, buf } => &buf[..usize::from(*len)],
-            WatcherList::Spilled(v) => v,
-        }
-    }
-
-    fn set(&mut self, i: usize, w: Watcher) {
-        match self {
-            WatcherList::Inline { len, buf } => {
-                debug_assert!(i < usize::from(*len));
-                buf[i] = w;
-            }
-            WatcherList::Spilled(v) => v[i] = w,
-        }
-    }
-
-    fn truncate(&mut self, n: usize) {
-        match self {
-            WatcherList::Inline { len, .. } => *len = (*len).min(n as u8),
-            WatcherList::Spilled(v) => v.truncate(n),
-        }
-    }
-
-    fn take(&mut self) -> WatcherList {
-        std::mem::replace(self, WatcherList::EMPTY)
-    }
+    cpu: u32,
+    next: u32,
 }
 
 /// A completed access: when it finishes and what it returned. Watchers it
@@ -231,11 +145,32 @@ pub(crate) struct AccessOutcome {
 }
 
 /// The simulated memory: allocation, coherence state, and access costing.
+///
+/// Line state lives in parallel arrays indexed by [`Addr`] (see the
+/// [module docs](self)).
 #[derive(Debug)]
 pub struct MemorySystem {
     topo: Arc<Topology>,
     latency: LatencyModel,
-    lines: Vec<Line>,
+    /// Current value of each word.
+    values: Vec<u64>,
+    /// CPU holding each line modified/exclusive ([`NO_OWNER`] if none).
+    owners: Vec<u32>,
+    /// CPUs holding shared copies (bitmask; the simulator supports up to
+    /// 128 CPUs, more than the largest machine in the paper).
+    sharers: Vec<u128>,
+    /// Time until which each line's coherence agent is busy.
+    busy_until: Vec<u64>,
+    /// Home node of each word.
+    homes: Vec<NodeId>,
+    /// Head/tail of each line's watcher chain ([`WNIL`] when empty).
+    /// CPUs sleeping until the line's value changes park here, in FIFO
+    /// order — wake order is registration order.
+    watch_head: Vec<u32>,
+    watch_tail: Vec<u32>,
+    /// Watcher node arena; `wfree` heads its freelist.
+    wnodes: Vec<WatchNode>,
+    wfree: u32,
     /// Per-node snooping-bus occupancy horizon: every coherence
     /// transaction touching a node serializes on its bus, so lock storms
     /// slow down unrelated data accesses (the paper's interference).
@@ -267,7 +202,15 @@ impl MemorySystem {
         MemorySystem {
             topo,
             latency,
-            lines: Vec::new(),
+            values: Vec::new(),
+            owners: Vec::new(),
+            sharers: Vec::new(),
+            busy_until: Vec::new(),
+            homes: Vec::new(),
+            watch_head: Vec::new(),
+            watch_tail: Vec::new(),
+            wnodes: Vec::new(),
+            wfree: WNIL,
             bus_until: vec![0; nodes],
             link_until: 0,
             read_scratch: Vec::new(),
@@ -328,15 +271,14 @@ impl MemorySystem {
             node.index() < self.topo.num_nodes(),
             "{node} outside topology"
         );
-        let addr = Addr(u32::try_from(self.lines.len()).expect("address space exhausted"));
-        self.lines.push(Line {
-            home: node,
-            value: 0,
-            owner: None,
-            sharers: 0,
-            busy_until: 0,
-            watchers: WatcherList::EMPTY,
-        });
+        let addr = Addr(u32::try_from(self.values.len()).expect("address space exhausted"));
+        self.values.push(0);
+        self.owners.push(NO_OWNER);
+        self.sharers.push(0);
+        self.busy_until.push(0);
+        self.homes.push(node);
+        self.watch_head.push(WNIL);
+        self.watch_tail.push(WNIL);
         addr
     }
 
@@ -347,12 +289,12 @@ impl MemorySystem {
 
     /// Number of allocated words.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.values.len()
     }
 
     /// Whether no words have been allocated.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.values.is_empty()
     }
 
     /// The current value of a word (debug/assertion use; does not model a
@@ -362,7 +304,7 @@ impl MemorySystem {
     ///
     /// Panics if `addr` was not allocated.
     pub fn peek(&self, addr: Addr) -> u64 {
-        self.lines[addr.index()].value
+        self.values[addr.index()]
     }
 
     /// Directly sets a word's value without simulating an access (for
@@ -372,12 +314,12 @@ impl MemorySystem {
     ///
     /// Panics if `addr` was not allocated.
     pub fn poke(&mut self, addr: Addr, value: u64) {
-        self.lines[addr.index()].value = value;
+        self.values[addr.index()] = value;
     }
 
     /// The home node of a word.
     pub fn home(&self, addr: Addr) -> NodeId {
-        self.lines[addr.index()].home
+        self.homes[addr.index()]
     }
 
     fn source_latency(&self, src: Source) -> u64 {
@@ -408,6 +350,29 @@ impl MemorySystem {
         old
     }
 
+    /// Appends `cpu` to the line's watcher chain (FIFO order).
+    fn park_watcher(&mut self, i: usize, cpu: CpuId, equals: u64) {
+        let id = if self.wfree != WNIL {
+            let id = self.wfree;
+            let n = &mut self.wnodes[id as usize];
+            self.wfree = n.next;
+            *n = WatchNode { equals, cpu: cpu.index() as u32, next: WNIL };
+            id
+        } else {
+            let id = self.wnodes.len() as u32;
+            debug_assert_ne!(id, WNIL, "watcher arena exhausted");
+            self.wnodes.push(WatchNode { equals, cpu: cpu.index() as u32, next: WNIL });
+            id
+        };
+        if self.watch_tail[i] == WNIL {
+            self.watch_head[i] = id;
+        } else {
+            let tail = self.watch_tail[i] as usize;
+            self.wnodes[tail].next = id;
+        }
+        self.watch_tail[i] = id;
+    }
+
     /// Performs `op` by `cpu` on `addr`, starting at `now`.
     ///
     /// The value effect is applied immediately (transactions on one line
@@ -427,47 +392,101 @@ impl MemorySystem {
         addr: Addr,
         op: MemOp,
         stats: &mut SimStats,
-        mut trace: Option<&mut (dyn TraceSink + 'static)>,
+        trace: Option<&mut (dyn TraceSink + 'static)>,
         woken: &mut Vec<(CpuId, u64, u64)>,
     ) -> AccessOutcome {
         woken.clear();
+        // Cache-hit fast paths. Hits arbitrate for no shared resource,
+        // draw no fault-layer latency, emit no trace event and count no
+        // traffic, so none of the slow path's machinery applies. The
+        // coherence-state transitions mirror phase 3 of the slow path.
+        let i = addr.index();
+        let me = cpu.index() as u32;
+        if self.owners[i] == me {
+            if !op.is_write() {
+                // Owner read-hit: the modified copy demotes to shared.
+                stats.count_hit();
+                self.owners[i] = NO_OWNER;
+                self.sharers[i] |= 1u128 << me;
+                return AccessOutcome {
+                    complete_at: now + self.latency.l1_hit,
+                    value: self.values[i],
+                };
+            }
+            if self.watch_head[i] == WNIL {
+                // Owner write-hit with no parked spinners to refill.
+                // Owner exclusive implies no sharers to invalidate.
+                debug_assert_eq!(self.sharers[i], 0);
+                stats.count_hit();
+                let old = Self::apply_op(&mut self.values[i], op);
+                let mut latency = self.latency.l1_hit;
+                if op.is_atomic() {
+                    latency += self.latency.atomic_extra;
+                }
+                return AccessOutcome { complete_at: now + latency, value: old };
+            }
+        } else if !op.is_write() && self.owners[i] == NO_OWNER && self.sharers[i] & (1u128 << me) != 0
+        {
+            // Shared read-hit: no state change at all.
+            stats.count_hit();
+            return AccessOutcome {
+                complete_at: now + self.latency.l1_hit,
+                value: self.values[i],
+            };
+        }
+        self.access_slow(now, cpu, addr, op, stats, trace, woken)
+    }
+
+    /// The general access path: classification, timing/occupancy/traffic,
+    /// invalidations, coherence update and watcher wake. (Still reached
+    /// with `Source::Hit` for an owner write that must refill parked
+    /// spinners.)
+    #[allow(clippy::too_many_arguments)]
+    fn access_slow(
+        &mut self,
+        now: u64,
+        cpu: CpuId,
+        addr: Addr,
+        op: MemOp,
+        stats: &mut SimStats,
+        mut trace: Option<&mut (dyn TraceSink + 'static)>,
+        woken: &mut Vec<(CpuId, u64, u64)>,
+    ) -> AccessOutcome {
+        let i = addr.index();
         let my_node = self.node_of(cpu);
-        let home = self.lines[addr.index()].home;
+        let home = self.homes[i];
         let lat = self.latency;
 
         // Phase 1: classify the access against current line state.
-        let (src, src_node, prev_owner, prev_sharers) = {
-            let line = &self.lines[addr.index()];
-            let (src, src_node) = if line.owner == Some(cpu)
-                || (!op.is_write()
-                    && line.owner.is_none()
-                    && line.sharers & (1 << cpu.index()) != 0)
-            {
-                (Source::Hit, my_node)
-            } else if let Some(owner) = line.owner {
-                let on = self.node_of(owner);
-                if on == my_node {
-                    // On hierarchical machines, a transfer within the
-                    // innermost group stays on-chip. Once any thread has
-                    // migrated, topology distance no longer describes
-                    // where threads run, so the shortcut is disabled.
-                    if !self.migrated
-                        && self.topo.extra_levels() > 0
-                        && self.topo.distance(cpu, owner) <= 1
-                    {
-                        (Source::SameChipCache, on)
-                    } else {
-                        (Source::SameNodeCache, on)
-                    }
+        let prev_owner = self.owners[i];
+        let prev_sharers = self.sharers[i];
+        let (src, src_node) = if prev_owner == cpu.index() as u32
+            || (!op.is_write() && prev_owner == NO_OWNER && prev_sharers & (1 << cpu.index()) != 0)
+        {
+            (Source::Hit, my_node)
+        } else if prev_owner != NO_OWNER {
+            let owner = CpuId(prev_owner as usize);
+            let on = self.node_of(owner);
+            if on == my_node {
+                // On hierarchical machines, a transfer within the
+                // innermost group stays on-chip. Once any thread has
+                // migrated, topology distance no longer describes
+                // where threads run, so the shortcut is disabled.
+                if !self.migrated
+                    && self.topo.extra_levels() > 0
+                    && self.topo.distance(cpu, owner) <= 1
+                {
+                    (Source::SameChipCache, on)
                 } else {
-                    (Source::RemoteCache, on)
+                    (Source::SameNodeCache, on)
                 }
-            } else if line.home == my_node {
-                (Source::LocalMemory, line.home)
             } else {
-                (Source::RemoteMemory, line.home)
-            };
-            (src, src_node, line.owner, line.sharers)
+                (Source::RemoteCache, on)
+            }
+        } else if home == my_node {
+            (Source::LocalMemory, home)
+        } else {
+            (Source::RemoteMemory, home)
         };
 
         let mut latency = self.source_latency(src);
@@ -491,9 +510,8 @@ impl MemorySystem {
             // On-chip transfer: serializes on the line but stays off the
             // node's snooping bus and the interconnect.
             stats.count_local(my_node);
-            let line = &mut self.lines[addr.index()];
-            start = now.max(line.busy_until);
-            line.busy_until = start + lat.local_occupancy;
+            start = now.max(self.busy_until[i]);
+            self.busy_until[i] = start + lat.local_occupancy;
             if let Some(t) = trace.as_deref_mut() {
                 t.record(
                     start,
@@ -512,7 +530,7 @@ impl MemorySystem {
             } else {
                 stats.count_local(my_node);
             }
-            let line_busy = self.lines[addr.index()].busy_until;
+            let line_busy = self.busy_until[i];
             let mut s = now.max(line_busy).max(self.bus_until[my_node.index()]);
             if global {
                 s = s
@@ -520,7 +538,7 @@ impl MemorySystem {
                     .max(self.bus_until[src_node.index()]);
             }
             start = s;
-            self.lines[addr.index()].busy_until = start
+            self.busy_until[i] = start
                 + if global {
                     lat.global_occupancy
                 } else {
@@ -560,7 +578,7 @@ impl MemorySystem {
         // Invalidation traffic: a write that found the line *unowned* but
         // shared sends one invalidation per other node holding a copy (the
         // data fetch above already paid for reaching a modified owner).
-        if op.is_write() && prev_owner.is_none() {
+        if op.is_write() && prev_owner == NO_OWNER {
             let mut inval_nodes = 0u64; // bitmask over nodes
             let mut sharers = prev_sharers;
             while sharers != 0 {
@@ -594,96 +612,102 @@ impl MemorySystem {
         }
 
         // Phase 3: apply the value effect and update coherence state.
-        let (old, new_value) = {
-            let line = &mut self.lines[addr.index()];
-            let old = Self::apply_op(&mut line.value, op);
-            if op.is_write() {
-                line.owner = Some(cpu);
-                line.sharers = 0;
-            } else {
-                // Read: a previous modified owner's data is now shared.
-                if let Some(owner) = line.owner.take() {
-                    line.sharers |= 1 << owner.index();
-                }
-                line.sharers |= 1 << cpu.index();
+        let old = Self::apply_op(&mut self.values[i], op);
+        let new_value = self.values[i];
+        if op.is_write() {
+            self.owners[i] = cpu.index() as u32;
+            self.sharers[i] = 0;
+        } else {
+            // Read: a previous modified owner's data is now shared.
+            if prev_owner != NO_OWNER {
+                self.owners[i] = NO_OWNER;
+                self.sharers[i] |= 1 << prev_owner;
             }
-            (old, line.value)
-        };
+            self.sharers[i] |= 1 << cpu.index();
+        }
 
         // Phase 4: wake watchers whose condition now holds. Each wake is a
         // refill — an invalidate-then-refetch transaction from the new
         // owner — and refills serialize on the line's occupancy. Watchers
-        // that stay parked are compacted in place, so the burst reuses the
-        // line's own storage and the caller's `woken` buffer.
-        if op.is_write() {
-            let mut watchers = self.lines[addr.index()].watchers.take();
-            if !watchers.is_empty() {
-                let mut kept = 0usize;
-                let mut busy = self.lines[addr.index()].busy_until.max(complete_at);
-                let mut new_sharers = 0u128;
-                for i in 0..watchers.len() {
-                    let w = watchers.as_slice()[i];
-                    // *Every* write invalidates every spinner's cached
-                    // copy; each refills (traffic + bus time) and
-                    // re-checks. Spinners whose condition still fails stay
-                    // parked but have already paid — this is the O(N²)
-                    // test-and-test&set stampede.
-                    let w_node = self.node_of(w.cpu);
-                    let global = w_node != my_node;
-                    let (refill, occ) = if global {
-                        stats.count_global(w_node);
-                        (lat.remote_transfer, lat.global_occupancy)
-                    } else {
-                        stats.count_local(w_node);
-                        (lat.same_node_transfer, lat.local_occupancy)
-                    };
-                    // Refills are served by the writer's cache.
-                    let refill = self.faulted_latency(refill, my_node);
-                    // The refill burst arbitrates for the same shared
-                    // resources as any other transaction.
-                    let mut s = busy.max(self.bus_until[w_node.index()]);
-                    if global {
-                        s = s
-                            .max(self.link_until)
-                            .max(self.bus_until[my_node.index()]);
-                    }
-                    let wake_at = s + refill;
-                    busy = s + occ;
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.record(
-                            s,
-                            SimEvent::CoherenceTxn {
-                                cpu: w.cpu,
-                                node: w_node,
-                                home,
-                                global,
-                            },
-                        );
-                    }
-                    self.bus_until[w_node.index()] = s + lat.bus_occupancy;
-                    if global {
-                        self.bus_until[my_node.index()] = s + lat.bus_occupancy;
-                        self.link_until = s + lat.link_occupancy;
-                    }
-                    new_sharers |= 1 << w.cpu.index();
-                    if new_value != w.equals {
-                        woken.push((w.cpu, wake_at, new_value));
-                    } else {
-                        watchers.set(kept, w);
-                        kept += 1;
-                    }
+        // that stay parked are relinked in place (the chain nodes are
+        // reused), so the burst allocates nothing.
+        if op.is_write() && self.watch_head[i] != WNIL {
+            let mut id = self.watch_head[i];
+            let mut kept_head = WNIL;
+            let mut kept_tail = WNIL;
+            let mut busy = self.busy_until[i].max(complete_at);
+            let mut new_sharers = 0u128;
+            while id != WNIL {
+                let WatchNode { equals, cpu: wc, next } = self.wnodes[id as usize];
+                // *Every* write invalidates every spinner's cached
+                // copy; each refills (traffic + bus time) and
+                // re-checks. Spinners whose condition still fails stay
+                // parked but have already paid — this is the O(N²)
+                // test-and-test&set stampede.
+                let wcpu = CpuId(wc as usize);
+                let w_node = self.node_of(wcpu);
+                let global = w_node != my_node;
+                let (refill, occ) = if global {
+                    stats.count_global(w_node);
+                    (lat.remote_transfer, lat.global_occupancy)
+                } else {
+                    stats.count_local(w_node);
+                    (lat.same_node_transfer, lat.local_occupancy)
+                };
+                // Refills are served by the writer's cache.
+                let refill = self.faulted_latency(refill, my_node);
+                // The refill burst arbitrates for the same shared
+                // resources as any other transaction.
+                let mut s = busy.max(self.bus_until[w_node.index()]);
+                if global {
+                    s = s
+                        .max(self.link_until)
+                        .max(self.bus_until[my_node.index()]);
                 }
-                watchers.truncate(kept);
-                let line = &mut self.lines[addr.index()];
-                line.watchers = watchers;
-                line.busy_until = busy;
-                line.sharers |= new_sharers;
-                // Refilled watchers demote the writer's copy to shared.
-                if !woken.is_empty() {
-                    if let Some(owner) = line.owner.take() {
-                        line.sharers |= 1 << owner.index();
-                    }
+                let wake_at = s + refill;
+                busy = s + occ;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(
+                        s,
+                        SimEvent::CoherenceTxn {
+                            cpu: wcpu,
+                            node: w_node,
+                            home,
+                            global,
+                        },
+                    );
                 }
+                self.bus_until[w_node.index()] = s + lat.bus_occupancy;
+                if global {
+                    self.bus_until[my_node.index()] = s + lat.bus_occupancy;
+                    self.link_until = s + lat.link_occupancy;
+                }
+                new_sharers |= 1 << wc;
+                if new_value != equals {
+                    woken.push((wcpu, wake_at, new_value));
+                    // Free the node.
+                    self.wnodes[id as usize].next = self.wfree;
+                    self.wfree = id;
+                } else {
+                    // Keep parked, preserving FIFO order.
+                    self.wnodes[id as usize].next = WNIL;
+                    if kept_tail == WNIL {
+                        kept_head = id;
+                    } else {
+                        self.wnodes[kept_tail as usize].next = id;
+                    }
+                    kept_tail = id;
+                }
+                id = next;
+            }
+            self.watch_head[i] = kept_head;
+            self.watch_tail[i] = kept_tail;
+            self.busy_until[i] = busy;
+            self.sharers[i] |= new_sharers;
+            // Refilled watchers demote the writer's copy to shared.
+            if !woken.is_empty() && self.owners[i] != NO_OWNER {
+                self.sharers[i] |= 1 << self.owners[i];
+                self.owners[i] = NO_OWNER;
             }
         }
 
@@ -710,17 +734,16 @@ impl MemorySystem {
         stats: &mut SimStats,
         trace: Option<&mut (dyn TraceSink + 'static)>,
     ) -> Option<(u64, u64)> {
-        if self.lines[addr.index()].value != equals {
+        let i = addr.index();
+        if self.values[i] != equals {
             let mut scratch = std::mem::take(&mut self.read_scratch);
             let out = self.access(now, cpu, addr, MemOp::Read, stats, trace, &mut scratch);
             debug_assert!(scratch.is_empty(), "reads wake no watchers");
             self.read_scratch = scratch;
             return Some((out.complete_at, out.value));
         }
-        let holds_copy = {
-            let line = &self.lines[addr.index()];
-            line.owner == Some(cpu) || line.sharers & (1 << cpu.index()) != 0
-        };
+        let holds_copy =
+            self.owners[i] == cpu.index() as u32 || self.sharers[i] & (1 << cpu.index()) != 0;
         if !holds_copy {
             // Fetch the line (traffic + line/bus occupancy) before
             // sleeping on it.
@@ -729,17 +752,16 @@ impl MemorySystem {
             debug_assert!(scratch.is_empty(), "reads wake no watchers");
             self.read_scratch = scratch;
         }
-        self.lines[addr.index()].watchers.push(Watcher { cpu, equals });
+        self.park_watcher(i, cpu, equals);
         None
     }
 
     /// Materializes the final value of every allocated word, in address
     /// order (done once, when a finished machine is turned into a report).
     pub(crate) fn final_values(&self) -> Vec<u64> {
-        self.lines.iter().map(|l| l.value).collect()
+        self.values.clone()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

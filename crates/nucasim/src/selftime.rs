@@ -1,0 +1,34 @@
+//! Internal coarse section timers (rdtsc) for performance investigation.
+//! Compiled only with the `selftime` feature; zero presence otherwise.
+#![allow(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static RESUME: AtomicU64 = AtomicU64::new(0);
+pub static MEM: AtomicU64 = AtomicU64::new(0);
+pub static QUEUE: AtomicU64 = AtomicU64::new(0);
+pub static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub fn now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    0
+}
+
+#[inline]
+pub fn add(c: &AtomicU64, start: u64) {
+    c.fetch_add(now().wrapping_sub(start), Ordering::Relaxed);
+}
+
+pub fn report() -> (u64, u64, u64, u64) {
+    (
+        RESUME.load(Ordering::Relaxed),
+        MEM.load(Ordering::Relaxed),
+        QUEUE.load(Ordering::Relaxed),
+        TOTAL.load(Ordering::Relaxed),
+    )
+}

@@ -215,6 +215,22 @@ pub fn run_modern_traced(cfg: &ModernConfig) -> (SimReport, Vec<TraceRecord>) {
         cfg,
         &|mem, topo, gt| build_lock(cfg.kind, mem, topo, gt, NodeId(0), &cfg.params),
         Some(log.clone()),
+        None,
+    );
+    (report, log.take())
+}
+
+/// Like [`run_modern_raw`] but records every scheduler operation the run
+/// performs (see [`nucasim::SchedOp`]). The trace replays against any
+/// event-queue implementation — `crates/bench` uses it to compare the
+/// heap and wheel schedulers in isolation on a genuine event mix.
+pub fn run_modern_recorded(cfg: &ModernConfig) -> (SimReport, Vec<nucasim::SchedOp>) {
+    let log = nucasim::SchedOpLog::new();
+    let (report, _) = run_modern_inner(
+        cfg,
+        &|mem, topo, gt| build_lock(cfg.kind, mem, topo, gt, NodeId(0), &cfg.params),
+        None,
+        Some(&log),
     );
     (report, log.take())
 }
@@ -228,15 +244,19 @@ pub type LockFactory<'a> =
 /// HBO extension, which is not one of the paper's eight
 /// [`LockKind`]s). `cfg.kind` is used only for labeling.
 pub fn run_modern_with(cfg: &ModernConfig, factory: &LockFactory<'_>) -> (SimReport, Vec<Addr>) {
-    run_modern_inner(cfg, factory, None)
+    run_modern_inner(cfg, factory, None, None)
 }
 
 fn run_modern_inner(
     cfg: &ModernConfig,
     factory: &LockFactory<'_>,
     trace: Option<EventLog>,
+    record_sched: Option<&nucasim::SchedOpLog>,
 ) -> (SimReport, Vec<Addr>) {
     let mut machine = Machine::new(cfg.machine.clone());
+    if let Some(log) = record_sched {
+        machine.record_sched_ops_into(log.clone());
+    }
     if let Some(sink) = trace {
         machine.set_trace_sink(Box::new(sink));
     }

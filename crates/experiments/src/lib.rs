@@ -31,6 +31,7 @@ pub mod hier_exp;
 pub mod json;
 pub mod lat_hist;
 pub mod nuca_ratio;
+pub mod profiler;
 pub mod raytrace_exp;
 pub mod report;
 pub mod robustness;
@@ -90,13 +91,14 @@ pub const EXPERIMENTS: [&str; 13] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXTENSIONS: [&str; 6] = [
+pub const EXTENSIONS: [&str; 7] = [
     "nuca_ratio",
     "hier",
     "colloc",
     "ticket",
     "lat_hist",
     "robustness",
+    "handoff",
 ];
 
 /// Runs one experiment (or `all`) and returns its report(s).
@@ -125,6 +127,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "ticket" => Ok(vec![ticket_exp::run(scale)]),
         "lat_hist" => Ok(vec![lat_hist::run(scale)]),
         "robustness" => Ok(vec![robustness::run(scale)]),
+        "handoff" => Ok(vec![profiler::run_handoff(scale)]),
         "all" => {
             // Fan the artifacts out across orchestration threads (their
             // leaf sim jobs share the global --jobs budget) and flatten

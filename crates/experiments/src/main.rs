@@ -21,7 +21,7 @@ use nuca_experiments::UnknownExperiment;
 
 const USAGE: &str = "usage: experiments [--fast] [--out DIR] [--jobs N] \
      [--sched wheel|heap|check] [--bench-json PATH] [--trace PATH] \
-     [--metrics-json PATH] <id>... | all | --list";
+     [--metrics-json PATH] [--profile PATH] <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     let mut bench_json: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
+    let mut profile_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -77,6 +78,13 @@ fn main() -> ExitCode {
                 Some(path) => metrics_path = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--metrics-json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => match iter.next() {
+                Some(path) => profile_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--profile requires a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -134,6 +142,13 @@ fn main() -> ExitCode {
         }
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
+    }
+
+    // Streaming profiling observes every machine the artifacts below run
+    // (observe-only, so TSV bytes are unchanged). Must be enabled before
+    // the first run; results are collected at the end.
+    if profile_path.is_some() {
+        nucasim::profile::enable_global_profiling();
     }
 
     let harness_started = Instant::now();
@@ -198,6 +213,21 @@ fn main() -> ExitCode {
         {
             eprintln!("could not write capture: {err}");
             return ExitCode::FAILURE;
+        }
+    }
+
+    // nuca-prof output: the label-keyed merge of every profiled machine
+    // above (one entry per lock kind, since workload runners label
+    // machines by kind).
+    if let Some(path) = profile_path {
+        let profiles = nucasim::profile::take_global_profiles();
+        let json = nuca_experiments::profiler::profile_json(&profiles);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("could not write profile JSON {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

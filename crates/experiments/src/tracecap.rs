@@ -100,13 +100,117 @@ pub fn chrome_trace_json(captures: &[Capture]) -> String {
             w.end_object();
             w.end_object();
         }
+        let mut counters = CounterTracks::default();
         for rec in &cap.records {
             write_event(&mut w, pid, rec);
+            counters.observe(&mut w, pid, rec);
         }
+        counters.finish(&mut w, pid);
     }
     w.end_array();
     w.end_object();
     w.finish()
+}
+
+/// Perfetto counter tracks derived from the event stream, so aggregate
+/// trends line up with the instant/slice events on one timeline:
+///
+/// * **waiters** — a queue-depth proxy: CPUs between `AcquireStart` and
+///   their `LockAcquire` (emitted on every change);
+/// * **global txns** — cumulative interconnect-crossing transactions per
+///   node (sampled every [`CounterTracks::TRAFFIC_SAMPLE`] global txns —
+///   per-txn counter points would double the trace size);
+/// * **anger** — cumulative HBO_GT_SD `GET_ANGRY` episodes (emitted per
+///   episode; they are rare).
+#[derive(Debug, Default)]
+struct CounterTracks {
+    waiters: u64,
+    /// Cumulative global transactions per node (grown on demand).
+    node_global: Vec<u64>,
+    /// Global txns since the traffic track was last sampled.
+    unsampled: u64,
+    anger: u64,
+    last_at: u64,
+}
+
+impl CounterTracks {
+    const TRAFFIC_SAMPLE: u64 = 256;
+
+    fn counter(w: &mut JsonWriter, pid: u64, name: &str, at: u64) {
+        w.begin_object();
+        w.field_str("name", name);
+        w.field_str("ph", "C");
+        w.field_raw("ts", &ts_us(at));
+        w.field_u64("pid", pid);
+        w.key("args");
+        w.begin_object();
+    }
+
+    fn emit_waiters(&self, w: &mut JsonWriter, pid: u64, at: u64) {
+        Self::counter(w, pid, "waiters", at);
+        w.field_u64("waiting", self.waiters);
+        w.end_object();
+        w.end_object();
+    }
+
+    fn emit_traffic(&self, w: &mut JsonWriter, pid: u64, at: u64) {
+        Self::counter(w, pid, "global txns", at);
+        for (node, &n) in self.node_global.iter().enumerate() {
+            w.field_u64(&format!("node{node}"), n);
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    fn emit_anger(&self, w: &mut JsonWriter, pid: u64, at: u64) {
+        Self::counter(w, pid, "anger", at);
+        w.field_u64("episodes", self.anger);
+        w.end_object();
+        w.end_object();
+    }
+
+    fn observe(&mut self, w: &mut JsonWriter, pid: u64, rec: &TraceRecord) {
+        self.last_at = rec.at;
+        match rec.event {
+            SimEvent::AcquireStart { .. } => {
+                self.waiters += 1;
+                self.emit_waiters(w, pid, rec.at);
+            }
+            SimEvent::LockAcquire { .. } => {
+                // Acquisitions recorded outside a traced acquire window
+                // (none today) would underflow; saturate defensively.
+                self.waiters = self.waiters.saturating_sub(1);
+                self.emit_waiters(w, pid, rec.at);
+            }
+            SimEvent::CoherenceTxn { node, global: true, .. } => {
+                if self.node_global.len() <= node.index() {
+                    self.node_global.resize(node.index() + 1, 0);
+                }
+                self.node_global[node.index()] += 1;
+                self.unsampled += 1;
+                if self.unsampled >= Self::TRAFFIC_SAMPLE {
+                    self.unsampled = 0;
+                    self.emit_traffic(w, pid, rec.at);
+                }
+            }
+            SimEvent::GotAngry { .. } => {
+                self.anger += 1;
+                self.emit_anger(w, pid, rec.at);
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits the final counter values so every track ends at the run's
+    /// last timestamp (and sub-sample traffic remainders are not lost).
+    fn finish(&mut self, w: &mut JsonWriter, pid: u64) {
+        if !self.node_global.is_empty() {
+            self.emit_traffic(w, pid, self.last_at);
+        }
+        if self.anger > 0 {
+            self.emit_anger(w, pid, self.last_at);
+        }
+    }
 }
 
 /// Writes one [`TraceRecord`] as a trace event object.
@@ -130,6 +234,14 @@ fn write_event(w: &mut JsonWriter, pid: u64, rec: &TraceRecord) {
         w.field_u64("tid", cpu as u64);
     };
     match rec.event {
+        SimEvent::AcquireStart { lock, cpu, node } => {
+            instant(w, "AcquireStart", cpu.index());
+            w.key("args");
+            w.begin_object();
+            w.field_u64("lock", lock as u64);
+            w.field_u64("node", node.index() as u64);
+            w.end_object();
+        }
         SimEvent::LockAcquire { lock, cpu, node } => {
             instant(w, "LockAcquire", cpu.index());
             w.key("args");
@@ -209,8 +321,9 @@ fn write_event(w: &mut JsonWriter, pid: u64, rec: &TraceRecord) {
     w.end_object();
 }
 
-/// Serializes a latency histogram (cycles in, nanoseconds out).
-fn write_histogram(w: &mut JsonWriter, h: &Histogram) {
+/// Serializes a latency histogram (cycles in, nanoseconds out). Shared
+/// with the profiler's `--profile` document (`crate::profiler`).
+pub(crate) fn write_histogram(w: &mut JsonWriter, h: &Histogram) {
     w.begin_object();
     w.field_u64("count", h.count());
     w.field_u64("max_ns", cycles_to_ns(h.max()));
@@ -241,6 +354,18 @@ pub fn metrics_json(scale: Scale, captures: &[Capture]) -> String {
     w.begin_object();
     w.field_str("scale", scale.pick("full", "fast"));
     w.field_u64("critical_work", u64::from(CAPTURE_CRITICAL_WORK));
+    // Self-time attribution: the simulator's rdtsc section counters,
+    // process-wide totals up to this capture. Only ratios between
+    // sections are meaningful (ticks, not seconds).
+    #[cfg(feature = "selftime")]
+    {
+        w.key("selftime");
+        w.begin_object();
+        for (name, ticks) in nucasim::selftime::sections() {
+            w.field_u64(name, ticks);
+        }
+        w.end_object();
+    }
     w.key("locks");
     w.begin_array();
     for cap in captures {
@@ -338,7 +463,8 @@ mod tests {
             let mut last_at: HashMap<usize, u64> = HashMap::new();
             for rec in &cap.records {
                 let cpu = match rec.event {
-                    SimEvent::LockAcquire { cpu, .. }
+                    SimEvent::AcquireStart { cpu, .. }
+                    | SimEvent::LockAcquire { cpu, .. }
                     | SimEvent::LockRelease { cpu, .. }
                     | SimEvent::BackoffSleep { cpu, .. }
                     | SimEvent::CoherenceTxn { cpu, .. }
@@ -380,6 +506,14 @@ mod tests {
         // One process track per algorithm.
         for kind in LockKind::ALL {
             assert!(json.contains(&format!("\"name\":\"{}\"", kind.as_str())));
+        }
+        // Counter tracks ride along on the same timeline.
+        assert!(json.contains("\"ph\":\"C\""), "no counter events");
+        for track in ["waiters", "global txns", "anger"] {
+            assert!(
+                json.contains(&format!("\"name\":\"{track}\"")),
+                "missing {track} counter track"
+            );
         }
     }
 

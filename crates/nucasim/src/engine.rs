@@ -170,6 +170,9 @@ pub struct Machine {
     /// Installed trace sink, if any. `None` (the default) keeps every
     /// emission site down to one branch.
     trace: Option<Box<dyn TraceSink>>,
+    /// Label this machine's global profile merges under when process-wide
+    /// profiling is on (see [`crate::profile::enable_global_profiling`]).
+    profile_label: Option<String>,
 }
 
 impl Machine {
@@ -217,6 +220,7 @@ impl Machine {
             faults,
             woken_buf: Vec::new(),
             trace: None,
+            profile_label: None,
         }
     }
 
@@ -230,6 +234,16 @@ impl Machine {
     /// Removes and returns the installed trace sink, if any.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Names this machine for the process-wide profiling registry: when
+    /// [`crate::profile::enable_global_profiling`] is on and no explicit
+    /// trace sink is installed, the machine's streaming profile merges into
+    /// the global table under `label` (unlabeled machines merge under
+    /// [`crate::profile::UNLABELED`]). Workload runners set this to the
+    /// lock kind so `--profile` output is keyed the way Fig. 5 is.
+    pub fn set_profile_label(&mut self, label: &str) {
+        self.profile_label = Some(label.to_owned());
     }
 
     /// Replaces the scheduler with a recording wheel and returns the
@@ -371,6 +385,12 @@ impl Machine {
     /// [`Machine::into_report`] turns the finished machine into a full
     /// [`SimReport`].
     pub fn run(&mut self, limit: u64) -> RunStatus {
+        // Global profiling observes machines that would otherwise run
+        // untraced; an explicitly installed sink always wins (profiling
+        // must never displace a capture the caller asked for).
+        if self.trace.is_none() && crate::profile::global_profiling_enabled() {
+            self.trace = Some(crate::profile::global_sink(self.profile_label.as_deref()));
+        }
         self.run_with(limit, true)
     }
 
@@ -897,7 +917,8 @@ mod tests {
         let mut last_per_cpu = [0u64; 8];
         for r in &events {
             let cpu = match r.event {
-                SimEvent::LockAcquire { cpu, .. }
+                SimEvent::AcquireStart { cpu, .. }
+                | SimEvent::LockAcquire { cpu, .. }
                 | SimEvent::LockRelease { cpu, .. }
                 | SimEvent::BackoffSleep { cpu, .. }
                 | SimEvent::CoherenceTxn { cpu, .. }

@@ -73,6 +73,7 @@ mod faults;
 mod mem;
 mod metrics;
 mod preempt;
+pub mod profile;
 mod program;
 mod rng;
 pub mod sched;
@@ -90,6 +91,7 @@ pub use faults::{
 pub use mem::{Addr, MemOp, MemorySystem};
 pub use metrics::Histogram;
 pub use preempt::PreemptionConfig;
+pub use profile::{LockProfile, Profile, ProfileCollector};
 pub use program::{Command, CpuCtx, Program};
 pub use rng::SplitMix64;
 pub use stats::{LockTrace, SimStats, TrafficCounts};

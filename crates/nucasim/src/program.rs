@@ -111,6 +111,24 @@ impl<'a> CpuCtx<'a> {
         }
     }
 
+    /// Traces the start of a lock acquisition (the first acquire step).
+    /// Pure trace: no statistic is updated, so calling it is free when
+    /// tracing is off. The streaming profiler ([`crate::profile`]) uses the
+    /// window between this event and the matching `LockAcquire` to
+    /// decompose acquire latency into phases.
+    pub fn trace_acquire_start(&mut self, lock: usize) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(
+                self.now,
+                SimEvent::AcquireStart {
+                    lock,
+                    cpu: self.cpu,
+                    node: self.node,
+                },
+            );
+        }
+    }
+
     /// Records a successful lock acquisition for the paper's node-handoff
     /// statistics (Figs. 3 and 5, right panels). `lock` is a workload-
     /// chosen dense index.
@@ -258,6 +276,7 @@ mod tests {
         let mut stats = SimStats::new();
         let mut ctx = CpuCtx::new(CpuId(3), NodeId(1), 42, &mut stats);
         ctx.trace = Some(&mut sink);
+        ctx.trace_acquire_start(0);
         ctx.record_acquire(0);
         ctx.record_release(0, 17);
         ctx.trace_backoff(100, BackoffClass::Remote);
@@ -267,6 +286,7 @@ mod tests {
         assert_eq!(
             events,
             vec![
+                SimEvent::AcquireStart { lock: 0, cpu: CpuId(3), node: NodeId(1) },
                 SimEvent::LockAcquire { lock: 0, cpu: CpuId(3), node: NodeId(1) },
                 SimEvent::LockRelease { lock: 0, cpu: CpuId(3), node: NodeId(1) },
                 SimEvent::BackoffSleep {

@@ -32,3 +32,17 @@ pub fn report() -> (u64, u64, u64, u64) {
         TOTAL.load(Ordering::Relaxed),
     )
 }
+
+/// The section counters as named entries, in a fixed order, for
+/// machine-readable export (the harness `--metrics-json` attribution
+/// block). Ticks are rdtsc units: only ratios between sections are
+/// meaningful, not absolute time.
+pub fn sections() -> [(&'static str, u64); 4] {
+    let (resume, mem, queue, total) = report();
+    [
+        ("resume_ticks", resume),
+        ("mem_ticks", mem),
+        ("queue_ticks", queue),
+        ("total_ticks", total),
+    ]
+}

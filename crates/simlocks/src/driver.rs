@@ -112,6 +112,7 @@ impl SessionDriver {
         assert_eq!(self.phase, Phase::Idle, "acquire while not idle");
         self.phase = Phase::Acquiring;
         self.acquire_started = ctx.now;
+        ctx.trace_acquire_start(self.lock_index);
         self.step(Phase::Acquiring, ctx, None, true)
     }
 

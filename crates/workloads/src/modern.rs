@@ -10,8 +10,8 @@ use std::sync::Arc;
 use hbo_locks::LockKind;
 use nuca_topology::NodeId;
 use nucasim::{
-    Addr, Command, CpuCtx, EventLog, Machine, MachineConfig, MemorySystem, Program, SimReport,
-    SplitMix64, TraceRecord,
+    Addr, Command, CpuCtx, EventLog, Machine, MachineConfig, MemorySystem, Profile,
+    ProfileCollector, Program, SimReport, SplitMix64, TraceRecord, TraceSink,
 };
 use nuca_topology::Topology;
 use nucasim_locks::{build_lock, DriveResult, GtSlots, SessionDriver, SimLock, SimLockParams};
@@ -214,10 +214,26 @@ pub fn run_modern_traced(cfg: &ModernConfig) -> (SimReport, Vec<TraceRecord>) {
     let (report, _) = run_modern_inner(
         cfg,
         &|mem, topo, gt| build_lock(cfg.kind, mem, topo, gt, NodeId(0), &cfg.params),
-        Some(log.clone()),
+        Some(Box::new(log.clone())),
         None,
     );
     (report, log.take())
+}
+
+/// Like [`run_modern_raw`] but with the streaming profiler
+/// ([`nucasim::profile`]) attached: returns the run's [`Profile`] —
+/// handoff-chain and acquire-phase analysis — alongside the report.
+/// Memory stays bounded by machine shape (no event is buffered), and the
+/// simulated run itself is unchanged — profiling only observes.
+pub fn run_modern_profiled(cfg: &ModernConfig) -> (SimReport, Profile) {
+    let prof = ProfileCollector::new();
+    let (report, _) = run_modern_inner(
+        cfg,
+        &|mem, topo, gt| build_lock(cfg.kind, mem, topo, gt, NodeId(0), &cfg.params),
+        Some(Box::new(prof.clone())),
+        None,
+    );
+    (report, prof.finish())
 }
 
 /// Like [`run_modern_raw`] but records every scheduler operation the run
@@ -250,15 +266,16 @@ pub fn run_modern_with(cfg: &ModernConfig, factory: &LockFactory<'_>) -> (SimRep
 fn run_modern_inner(
     cfg: &ModernConfig,
     factory: &LockFactory<'_>,
-    trace: Option<EventLog>,
+    trace: Option<Box<dyn TraceSink>>,
     record_sched: Option<&nucasim::SchedOpLog>,
 ) -> (SimReport, Vec<Addr>) {
     let mut machine = Machine::new(cfg.machine.clone());
+    machine.set_profile_label(cfg.kind.as_str());
     if let Some(log) = record_sched {
         machine.record_sched_ops_into(log.clone());
     }
     if let Some(sink) = trace {
-        machine.set_trace_sink(Box::new(sink));
+        machine.set_trace_sink(sink);
     }
     let topo = Arc::clone(machine.topology());
     assert!(

@@ -37,6 +37,62 @@ pub fn parse_sched(value: Option<&str>) -> Result<nucasim::SchedKind, String> {
     raw.parse::<nucasim::SchedKind>().map_err(|e| format!("--sched: {e}"))
 }
 
+/// Parses the operand of `--shards` (lockserver shard-lock count).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing, not a number, or
+/// not positive — a zero-shard lock table has nowhere to hash keys.
+pub fn parse_shards(value: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Err("--shards requires a positive integer".to_owned());
+    };
+    match raw.parse::<i128>() {
+        Ok(n) if n >= 1 => usize::try_from(n)
+            .map_err(|_| format!("--shards {raw} exceeds this platform's limit")),
+        Ok(_) => Err(format!("--shards must be a positive integer (got {raw})")),
+        Err(_) => Err(format!("--shards must be a positive integer (got `{raw}`)")),
+    }
+}
+
+/// Parses the operand of `--zipf` (lockserver key-skew exponent θ).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing, not a number, or
+/// outside the open interval `(0, 1)` the constant-time Zipfian sampler
+/// is defined on.
+pub fn parse_zipf(value: Option<&str>) -> Result<f64, String> {
+    let Some(raw) = value else {
+        return Err("--zipf requires an exponent in (0, 1), e.g. 0.99".to_owned());
+    };
+    match raw.parse::<f64>() {
+        Ok(theta) if theta > 0.0 && theta < 1.0 => Ok(theta),
+        Ok(_) => Err(format!("--zipf must lie in (0, 1), got {raw}")),
+        Err(_) => Err(format!("--zipf must be a number in (0, 1) (got `{raw}`)")),
+    }
+}
+
+/// Parses the operand of `--arrival-gap` (lockserver mean cycles between
+/// request batches).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing, not a number, or
+/// not positive — a zero mean gap would collapse the whole open-loop
+/// schedule onto cycle zero.
+pub fn parse_arrival_gap(value: Option<&str>) -> Result<u64, String> {
+    let Some(raw) = value else {
+        return Err("--arrival-gap requires a positive cycle count".to_owned());
+    };
+    match raw.parse::<i128>() {
+        Ok(n) if n >= 1 => u64::try_from(n)
+            .map_err(|_| format!("--arrival-gap {raw} exceeds the cycle range")),
+        Ok(_) => Err(format!("--arrival-gap must be a positive cycle count (got {raw})")),
+        Err(_) => Err(format!("--arrival-gap must be a positive cycle count (got `{raw}`)")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +147,36 @@ mod tests {
     fn rejects_missing_scheduler_operand() {
         let err = parse_sched(None).unwrap_err();
         assert!(err.contains("--sched"), "{err}");
+    }
+
+    #[test]
+    fn shards_accepts_positive_and_rejects_the_rest() {
+        assert_eq!(parse_shards(Some("16")), Ok(16));
+        for bad in ["0", "-3", "many", ""] {
+            let err = parse_shards(Some(bad)).unwrap_err();
+            assert!(err.contains("--shards"), "{bad}: {err}");
+        }
+        assert!(parse_shards(None).is_err());
+    }
+
+    #[test]
+    fn zipf_accepts_open_unit_interval_only() {
+        assert_eq!(parse_zipf(Some("0.99")), Ok(0.99));
+        assert_eq!(parse_zipf(Some("0.5")), Ok(0.5));
+        for bad in ["0", "0.0", "1", "1.0", "1.5", "-0.2", "NaN", "hot", ""] {
+            let err = parse_zipf(Some(bad)).unwrap_err();
+            assert!(err.contains("--zipf"), "{bad}: {err}");
+        }
+        assert!(parse_zipf(None).is_err());
+    }
+
+    #[test]
+    fn arrival_gap_accepts_positive_cycles_only() {
+        assert_eq!(parse_arrival_gap(Some("30000")), Ok(30_000));
+        for bad in ["0", "-1", "soon", "2.5", ""] {
+            let err = parse_arrival_gap(Some(bad)).unwrap_err();
+            assert!(err.contains("--arrival-gap"), "{bad}: {err}");
+        }
+        assert!(parse_arrival_gap(None).is_err());
     }
 }

@@ -30,6 +30,7 @@ pub mod fig9;
 pub mod hier_exp;
 pub mod json;
 pub mod lat_hist;
+pub mod lockserver;
 pub mod nuca_ratio;
 pub mod profiler;
 pub mod raytrace_exp;
@@ -91,7 +92,7 @@ pub const EXPERIMENTS: [&str; 13] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXTENSIONS: [&str; 7] = [
+pub const EXTENSIONS: [&str; 8] = [
     "nuca_ratio",
     "hier",
     "colloc",
@@ -99,6 +100,7 @@ pub const EXTENSIONS: [&str; 7] = [
     "lat_hist",
     "robustness",
     "handoff",
+    "lockserver",
 ];
 
 /// Runs one experiment (or `all`) and returns its report(s).
@@ -128,6 +130,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "lat_hist" => Ok(vec![lat_hist::run(scale)]),
         "robustness" => Ok(vec![robustness::run(scale)]),
         "handoff" => Ok(vec![profiler::run_handoff(scale)]),
+        "lockserver" => Ok(vec![lockserver::run(scale)]),
         "all" => {
             // Fan the artifacts out across orchestration threads (their
             // leaf sim jobs share the global --jobs budget) and flatten

@@ -21,7 +21,8 @@ use nuca_experiments::UnknownExperiment;
 
 const USAGE: &str = "usage: experiments [--fast] [--out DIR] [--jobs N] \
      [--sched wheel|heap|check] [--bench-json PATH] [--trace PATH] \
-     [--metrics-json PATH] [--profile PATH] <id>... | all | --list";
+     [--metrics-json PATH] [--profile PATH] [--shards N] [--zipf THETA] \
+     [--arrival-gap CYCLES] <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +61,32 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match nuca_experiments::cli::parse_shards(iter.next().as_deref()) {
+                Ok(n) => nuca_experiments::lockserver::set_shards(n),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--zipf" => match nuca_experiments::cli::parse_zipf(iter.next().as_deref()) {
+                Ok(theta) => nuca_experiments::lockserver::set_zipf_theta(theta),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--arrival-gap" => {
+                match nuca_experiments::cli::parse_arrival_gap(iter.next().as_deref()) {
+                    Ok(cycles) => nuca_experiments::lockserver::set_arrival_gap(cycles),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        eprintln!("{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--bench-json" => match iter.next() {
                 Some(path) => bench_json = Some(PathBuf::from(path)),
                 None => {

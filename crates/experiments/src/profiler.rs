@@ -216,6 +216,7 @@ pub fn profile_json(profiles: &[(String, Profile)]) -> String {
             w.begin_object();
             w.field_u64("wait_cycles", lock.wait_cycles());
             w.field_u64("spin_cycles", lock.spin_cycles);
+            w.field_u64("spin_clamped", lock.spin_clamped);
             w.field_u64("backoff_local_cycles", lock.backoff_local_cycles);
             w.field_u64("backoff_remote_cycles", lock.backoff_remote_cycles);
             w.field_u64("coherence_local", lock.coh_local);

@@ -265,9 +265,42 @@ pub struct MachineConfig {
     pub sched: Option<SchedKind>,
     /// Seed for all engine-internal randomness.
     pub seed: u64,
+    /// Lock indices below this bound get full dense [`crate::LockTrace`]s
+    /// (histograms, per-node acquire vectors); indices at or above it fall
+    /// back to compact [`crate::LockTally`] counters in a sparse map.
+    /// Workloads with huge lock index spaces (e.g. a lock service with
+    /// 10^6 lockable objects) set this to their count of "real" locks so
+    /// per-object statistics stay cheap. Defaults to
+    /// [`crate::DEFAULT_HOT_LOCKS`], which is far above any in-repo
+    /// artifact's lock count — existing runs are unaffected.
+    pub hot_locks: usize,
 }
 
 impl MachineConfig {
+    /// Checks machine-wide invariants that individual builder methods
+    /// cannot see. Today that is the CPU-count ceiling: the memory
+    /// system's sharer sets are `u128` bitmasks indexed by CPU id
+    /// ([`crate::MAX_SIM_CPUS`]), so topologies beyond 128 CPUs would
+    /// corrupt coherence state via wrapping shifts. [`crate::Machine::new`]
+    /// calls this and panics with the message on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending CPU count when the topology
+    /// exceeds the simulator's limit.
+    pub fn validate(&self) -> Result<(), String> {
+        let cpus = self.topology.num_cpus();
+        if cpus > crate::MAX_SIM_CPUS {
+            return Err(format!(
+                "topology has {cpus} CPUs but the simulator supports at most {} \
+                 (sharer sets are u128 bitmasks; shrink the topology or split \
+                 the experiment across machines)",
+                crate::MAX_SIM_CPUS
+            ));
+        }
+        Ok(())
+    }
+
     /// A WildFire-like machine with `nodes` × `cpus_per_node` processors.
     pub fn wildfire(nodes: usize, cpus_per_node: usize) -> MachineConfig {
         MachineConfig {
@@ -277,6 +310,7 @@ impl MachineConfig {
             faults: None,
             sched: None,
             seed: 0x5EED,
+            hot_locks: crate::DEFAULT_HOT_LOCKS,
         }
     }
 
@@ -289,6 +323,7 @@ impl MachineConfig {
             faults: None,
             sched: None,
             seed: 0x5EED,
+            hot_locks: crate::DEFAULT_HOT_LOCKS,
         }
     }
 
@@ -341,6 +376,15 @@ impl MachineConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> MachineConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the dense/sparse boundary for per-lock statistics (see the
+    /// `hot_locks` field). Lock indices `0..n` keep full traces; the rest
+    /// are tallied compactly.
+    #[must_use]
+    pub fn with_hot_locks(mut self, n: usize) -> MachineConfig {
+        self.hot_locks = n;
         self
     }
 }
@@ -409,6 +453,20 @@ mod tests {
                 mean_gap: 1000,
                 pause: 10,
             }));
+    }
+
+    #[test]
+    fn cpu_ceiling_is_exactly_the_sharer_mask_width() {
+        // 128 CPUs fill the u128 sharer bitmask exactly: still valid.
+        assert!(MachineConfig::wildfire(2, 64).validate().is_ok());
+        assert!(MachineConfig::e6000(128).validate().is_ok());
+        // One more would shift past the mask (a wrapping shift in release,
+        // i.e. silent sharer corruption): rejected with a clear message.
+        let err = MachineConfig::wildfire(2, 65).validate().unwrap_err();
+        assert!(err.contains("130"), "{err}");
+        assert!(err.contains("128"), "{err}");
+        let err = MachineConfig::e6000(129).validate().unwrap_err();
+        assert!(err.contains("129"), "{err}");
     }
 
     #[test]

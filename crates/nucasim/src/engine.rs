@@ -12,7 +12,7 @@ use crate::preempt::PreemptState;
 use crate::program::{Command, CpuCtx, Program};
 use crate::rng::SplitMix64;
 use crate::sched::{RecordingQueue, SchedOpLog, SchedQueue};
-use crate::stats::{LockTrace, SimStats, TrafficCounts};
+use crate::stats::{LockTally, LockTrace, SimStats, TrafficCounts};
 use crate::trace::{SimEvent, TraceSink};
 
 /// Per-CPU scheduler/program state, struct-of-arrays: the hot loop
@@ -89,8 +89,13 @@ pub struct SimReport {
     /// Traffic attributed per node (index = node id; may be shorter than
     /// the node count when trailing nodes generated no traffic).
     pub node_traffic: Vec<TrafficCounts>,
-    /// Per-lock acquisition traces.
+    /// Per-lock acquisition traces (dense tier: lock indices below
+    /// [`crate::MachineConfig::hot_locks`]).
     pub lock_traces: Vec<LockTrace>,
+    /// Compact tallies for cold-tier lock indices (at or above the hot
+    /// limit), in index order. Empty unless a workload recorded past the
+    /// limit.
+    pub lock_tallies: Vec<(usize, LockTally)>,
     /// Final values of all allocated words.
     values: Vec<u64>,
     /// Preemption windows applied.
@@ -184,6 +189,9 @@ impl Machine {
     /// builders on [`MachineConfig`] reject these earlier with the same
     /// messages; this is the backstop for directly-assembled configs).
     pub fn new(cfg: MachineConfig) -> Machine {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid machine config: {msg}");
+        }
         let topo = Arc::new(cfg.topology);
         let mut rng = SplitMix64::new(cfg.seed);
         let preempt = cfg.preemption.map(|p| {
@@ -212,7 +220,7 @@ impl Machine {
         Machine {
             mem,
             topo,
-            stats: SimStats::new(),
+            stats: SimStats::with_hot_limit(cfg.hot_locks),
             cpus,
             queue,
             time: 0,
@@ -552,6 +560,7 @@ impl Machine {
             traffic: self.stats.traffic(),
             node_traffic: self.stats.node_traffic().to_vec(),
             lock_traces: self.stats.take_locks(),
+            lock_tallies: self.stats.take_tallies(),
             values: self.mem.final_values(),
             preemptions: self.stats.preemptions(),
             migrations: self.stats.migrations(),
@@ -610,6 +619,22 @@ mod tests {
                 _ => Command::Done,
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn oversized_topology_rejected_at_machine_build() {
+        // Regression: >128 CPUs used to reach the memory system, where
+        // `1u128 << cpu` panics in debug and wraps (corrupting sharer
+        // state) in release. Now a clear config error at construction.
+        let _ = Machine::new(MachineConfig::e6000(129));
+    }
+
+    #[test]
+    fn full_width_topology_still_builds() {
+        // Exactly 128 CPUs is the documented ceiling, not past it.
+        let m = Machine::new(MachineConfig::wildfire(2, 64));
+        assert_eq!(m.topology().num_cpus(), 128);
     }
 
     #[test]
@@ -1130,6 +1155,7 @@ mod tests {
             traffic: TrafficCounts::default(),
             node_traffic: Vec::new(),
             lock_traces: Vec::new(),
+            lock_tallies: Vec::new(),
             values: Vec::new(),
             preemptions: 0,
             migrations: 0,

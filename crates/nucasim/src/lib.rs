@@ -88,13 +88,13 @@ pub use engine::{Machine, RunStatus, SimReport};
 pub use faults::{
     FaultConfig, HolderPreemptConfig, JitterConfig, MigrationConfig, SlowNodeConfig,
 };
-pub use mem::{Addr, MemOp, MemorySystem};
+pub use mem::{Addr, MemOp, MemorySystem, MAX_SIM_CPUS};
 pub use metrics::Histogram;
 pub use preempt::PreemptionConfig;
 pub use profile::{LockProfile, Profile, ProfileCollector};
 pub use program::{Command, CpuCtx, Program};
 pub use rng::SplitMix64;
-pub use stats::{LockTrace, SimStats, TrafficCounts};
+pub use stats::{LockTally, LockTrace, SimStats, TrafficCounts, DEFAULT_HOT_LOCKS};
 pub use trace::{BackoffClass, EventLog, SimEvent, TraceRecord, TraceSink};
 
 /// Cycles per second of the simulated processors (250 MHz, the paper's

@@ -46,6 +46,19 @@ impl Addr {
         u64::from(self.0) + 1
     }
 
+    /// The address `n` words past this one — for indexing into a
+    /// contiguous span from [`MemorySystem::alloc_span`]. The caller is
+    /// responsible for staying inside the span; the result is only checked
+    /// against arithmetic overflow, not allocation bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset overflows the address width.
+    pub fn offset(self, n: usize) -> Addr {
+        let n = u32::try_from(n).expect("span offset exceeds address width");
+        Addr(self.0.checked_add(n).expect("span offset overflows"))
+    }
+
     /// Inverse of [`Addr::encode`]; `None` for 0 (the null encoding).
     pub fn decode(v: u64) -> Option<Addr> {
         if v == 0 || v > u64::from(u32::MAX) {
@@ -119,6 +132,13 @@ enum Source {
     RemoteCache,
     RemoteMemory,
 }
+
+/// Largest CPU count one machine may simulate. Sharer sets are `u128`
+/// bitmasks indexed by CPU id, so a 129th CPU would shift past the mask
+/// width — a debug-build panic and silent sharer corruption (wrapping
+/// shift) in release. [`crate::MachineConfig`] validation rejects bigger
+/// topologies up front with a clear error instead.
+pub const MAX_SIM_CPUS: usize = 128;
 
 /// "No exclusive owner" sentinel in [`MemorySystem::owners`].
 const NO_OWNER: u32 = u32::MAX;
@@ -197,6 +217,15 @@ pub struct MemorySystem {
 
 impl MemorySystem {
     pub(crate) fn new(topo: Arc<Topology>, latency: LatencyModel) -> MemorySystem {
+        // Backstop for the MachineConfig-level validation: a sharer bitmask
+        // must have a bit for every CPU, in release builds too.
+        assert!(
+            topo.num_cpus() <= MAX_SIM_CPUS,
+            "topology has {} CPUs but the memory system supports at most {} \
+             (u128 sharer bitmask)",
+            topo.num_cpus(),
+            MAX_SIM_CPUS
+        );
         let nodes = topo.num_nodes();
         let cpu_nodes = (0..topo.num_cpus()).map(|c| topo.node_of(CpuId(c))).collect();
         MemorySystem {
@@ -284,7 +313,49 @@ impl MemorySystem {
 
     /// Allocates `n` words homed in `node`.
     pub fn alloc_array(&mut self, node: NodeId, n: usize) -> Vec<Addr> {
+        self.reserve(n);
         (0..n).map(|_| self.alloc(node)).collect()
+    }
+
+    /// Pre-sizes the backing arrays for `n` further allocations, so a bulk
+    /// caller (a million-object lock table) pays one reallocation per
+    /// parallel vector instead of a geometric growth series.
+    pub fn reserve(&mut self, n: usize) {
+        self.values.reserve(n);
+        self.owners.reserve(n);
+        self.sharers.reserve(n);
+        self.busy_until.reserve(n);
+        self.homes.reserve(n);
+        self.watch_head.reserve(n);
+        self.watch_tail.reserve(n);
+    }
+
+    /// Allocates `n` contiguous zero-initialized words homed in `node` and
+    /// returns the first address; word `i` of the span is `Addr(base.0 +
+    /// i)`. Unlike [`MemorySystem::alloc_array`] this materializes no
+    /// `Vec<Addr>` — at 10^6+ words (the lockserver's object table) the
+    /// handle vector alone would rival the words themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the machine's topology or the address
+    /// space would overflow.
+    pub fn alloc_span(&mut self, node: NodeId, n: usize) -> Addr {
+        assert!(
+            node.index() < self.topo.num_nodes(),
+            "{node} outside topology"
+        );
+        let end = self.values.len() + n;
+        assert!(u32::try_from(end).is_ok(), "address space exhausted");
+        let base = Addr(self.values.len() as u32);
+        self.values.resize(end, 0);
+        self.owners.resize(end, NO_OWNER);
+        self.sharers.resize(end, 0);
+        self.busy_until.resize(end, 0);
+        self.homes.resize(end, node);
+        self.watch_head.resize(end, WNIL);
+        self.watch_tail.resize(end, WNIL);
+        base
     }
 
     /// Number of allocated words.
@@ -803,6 +874,25 @@ mod tests {
         let mut woken = Vec::new();
         let out = mem.access(now, cpu, addr, op, st, None, &mut woken);
         (out, woken)
+    }
+
+    #[test]
+    fn alloc_span_is_contiguous_and_usable() {
+        let (mut mem, mut st) = mem2x2();
+        let first = mem.alloc(NodeId(0));
+        let base = mem.alloc_span(NodeId(1), 1000);
+        assert_eq!(base.index(), first.index() + 1);
+        assert_eq!(mem.len(), 1001);
+        // Span words behave exactly like individually allocated ones.
+        let mid = base.offset(500);
+        assert_eq!(mem.home(mid), NodeId(1));
+        assert_eq!(mem.peek(mid), 0);
+        let _ = access(&mut mem, 0, CpuId(0), mid, MemOp::Write(7), &mut st);
+        assert_eq!(mem.peek(mid), 7);
+        assert_eq!(mem.peek(base.offset(499)), 0, "neighbours untouched");
+        // Allocation continues cleanly past the span.
+        let next = mem.alloc(NodeId(0));
+        assert_eq!(next.index(), base.offset(999).index() + 1);
     }
 
     #[test]

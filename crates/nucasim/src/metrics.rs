@@ -86,8 +86,15 @@ impl Histogram {
 
     /// The `p`-th percentile (0 < p ≤ 100) at bucket resolution: the upper
     /// bound of the first bucket whose cumulative count covers `p`% of the
-    /// samples, clamped to the observed maximum. `None` when empty.
+    /// samples, clamped to the observed maximum. `None` when empty or when
+    /// `p` is out of range — NaN, zero, negative, or above 100 all used to
+    /// fall through the bucket walk and silently report the max bucket.
     pub fn percentile(&self, p: f64) -> Option<u64> {
+        // Written as a positive range test so NaN (every comparison false)
+        // is rejected by the same branch as 0.0 and 100.1.
+        if !(p > 0.0 && p <= 100.0) {
+            return None;
+        }
         if self.count == 0 {
             return None;
         }
@@ -193,6 +200,26 @@ mod tests {
         assert_eq!(buckets, vec![(0, 1), (u64::MAX, 1)]);
         assert_eq!(h.percentile(50.0), Some(0));
         assert_eq!(h.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn out_of_range_percentiles_rejected() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1000] {
+            h.record(v);
+        }
+        // In-range boundaries still work: p just above zero selects the
+        // first nonempty bucket, p = 100 the max.
+        assert_eq!(h.percentile(1.0), Some(15));
+        assert_eq!(h.percentile(100.0), Some(1000));
+        // Out of range: never "the max bucket by accident".
+        assert_eq!(h.percentile(0.0), None, "p = 0 is not a percentile");
+        assert_eq!(h.percentile(-5.0), None);
+        assert_eq!(h.percentile(100.1), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+        assert_eq!(h.percentile(f64::INFINITY), None);
+        // The guard applies even to an empty histogram.
+        assert_eq!(Histogram::new().percentile(f64::NAN), None);
     }
 
     #[test]

@@ -76,6 +76,13 @@ pub struct LockProfile {
     /// Acquire-window cycles not accounted to a backoff sleep: active
     /// spinning plus coherence stalls (the residual phase).
     pub spin_cycles: u64,
+    /// Acquire windows whose recorded backoff exceeded the window length,
+    /// forcing the spin residual to clamp at zero. Always zero for the
+    /// in-repo lock state machines (every backoff sleep lies inside the
+    /// window that recorded it); a nonzero count means a lock
+    /// implementation is emitting backoff events outside its acquire
+    /// window — an accounting bug this field surfaces instead of hiding.
+    pub spin_clamped: u64,
     /// Acquire-window cycles slept in [`BackoffClass::Local`] backoff.
     pub backoff_local_cycles: u64,
     /// Acquire-window cycles slept in [`BackoffClass::Remote`] backoff.
@@ -185,6 +192,7 @@ impl LockProfile {
         self.residency_runs.merge(&other.residency_runs);
         self.wait.merge(&other.wait);
         self.spin_cycles += other.spin_cycles;
+        self.spin_clamped += other.spin_clamped;
         self.backoff_local_cycles += other.backoff_local_cycles;
         self.backoff_remote_cycles += other.backoff_remote_cycles;
         self.coh_local += other.coh_local;
@@ -373,9 +381,15 @@ impl ProfCore {
                 lp.on_acquire(node);
                 if let Some(w) = window {
                     let wait = at - w.start;
+                    let backoff = w.backoff_local + w.backoff_remote;
                     lp.wait.record(wait);
-                    lp.spin_cycles +=
-                        wait.saturating_sub(w.backoff_local + w.backoff_remote);
+                    // The residual saturates at zero; count the windows
+                    // where it actually clamped (recorded backoff longer
+                    // than the window) rather than silently absorbing them.
+                    if backoff > wait {
+                        lp.spin_clamped += 1;
+                    }
+                    lp.spin_cycles += wait.saturating_sub(backoff);
                     lp.backoff_local_cycles += w.backoff_local;
                     lp.backoff_remote_cycles += w.backoff_remote;
                     lp.coh_local += w.coh_local;
@@ -613,6 +627,7 @@ mod tests {
         assert_eq!(lock.backoff_local_cycles, 40);
         assert_eq!(lock.backoff_remote_cycles, 100);
         assert_eq!(lock.spin_cycles, 60);
+        assert_eq!(lock.spin_clamped, 0, "well-formed window never clamps");
         assert_eq!(lock.coh_global, 1);
         assert_eq!(lock.coh_local, 0);
         assert_eq!(lock.critical_path(), "backoff_remote");
@@ -624,6 +639,40 @@ mod tests {
         assert_eq!(lock.holds, 1);
         assert_eq!(lock.hold_cycles, 50);
         assert_eq!(lock.mean_hold(), Some(50.0));
+    }
+
+    #[test]
+    fn overlong_backoff_is_counted_not_hidden() {
+        // A lock bug that records more backoff than the window is long
+        // used to vanish into the saturating subtraction; now the clamp
+        // is counted per window.
+        let prof = ProfileCollector::new();
+        let mut sink: Box<dyn TraceSink> = Box::new(prof.clone());
+        sink.record(0, start(0, 0, 0));
+        sink.record(
+            10,
+            SimEvent::BackoffSleep {
+                cpu: CpuId(0),
+                node: NodeId(0),
+                cycles: 500,
+                class: BackoffClass::Remote,
+            },
+        );
+        sink.record(100, acquire(0, 0, 0));
+        // A second, well-formed window on the same lock.
+        sink.record(200, start(0, 0, 0));
+        sink.record(250, acquire(0, 0, 0));
+        let p = prof.finish();
+        let lock = &p.locks[0];
+        assert_eq!(lock.spin_clamped, 1, "exactly the overlong window");
+        assert_eq!(lock.backoff_remote_cycles, 500, "backoff still recorded");
+        assert_eq!(lock.spin_cycles, 50, "only the clean window's residual");
+
+        // The counter survives a merge.
+        let mut merged = LockProfile::default();
+        merged.merge(lock);
+        merged.merge(lock);
+        assert_eq!(merged.spin_clamped, 2);
     }
 
     #[test]

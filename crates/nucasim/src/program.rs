@@ -151,6 +151,17 @@ impl<'a> CpuCtx<'a> {
         }
     }
 
+    /// Records a successful acquisition for `lock` into the statistics
+    /// tiers **without** emitting a trace event or notifying the fault
+    /// layer. Workloads with huge lock index spaces (the lockserver's
+    /// per-object tallies) use this: tracing consumers size state by the
+    /// largest lock index they observe — the streaming profiler keeps a
+    /// dense `Vec` of ~1.7 KiB profiles — so sparse indices must never
+    /// reach them.
+    pub fn tally_acquire(&mut self, lock: usize) {
+        self.stats.record_acquire(lock, self.node);
+    }
+
     /// Records how long an acquisition waited (cycles from the first
     /// acquire step to success) into the lock's time-to-acquire histogram.
     pub fn record_acquire_latency(&mut self, lock: usize, cycles: u64) {

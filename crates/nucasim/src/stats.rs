@@ -1,8 +1,24 @@
 //! Simulation statistics: coherence traffic, lock traces, finish times.
+//!
+//! Per-lock statistics are **tiered**. Lock indices below a configurable
+//! bound ([`crate::MachineConfig::hot_locks`], default
+//! [`DEFAULT_HOT_LOCKS`]) get a full [`LockTrace`] — wait/hold histograms
+//! and a per-node acquire vector, ~1 KiB each, stored densely. Indices at
+//! or above the bound get a compact [`LockTally`] — eight scalar counters
+//! — in a sparse ordered map. A million-object lock service would need
+//! ~1 GiB of dense traces; the tallies keep it to tens of megabytes while
+//! preserving the counts and means every aggregate metric is built from.
+
+use std::collections::BTreeMap;
 
 use nuca_topology::NodeId;
 
 use crate::metrics::Histogram;
+
+/// Default dense/sparse boundary for per-lock statistics. Far above any
+/// in-repo artifact's lock count, so runs that never set
+/// [`crate::MachineConfig::hot_locks`] behave exactly as before.
+pub const DEFAULT_HOT_LOCKS: usize = 4096;
 
 /// Local/global coherence transaction counts (the paper's Tables 2 and 6
 /// report these normalized).
@@ -64,18 +80,128 @@ impl LockTrace {
         }
         self.node_acquires[node.index()] += 1;
     }
+
+    /// The compact [`LockTally`] carrying the same scalar aggregates this
+    /// trace would report. Used by tests to check the sparse tier agrees
+    /// with the dense one, and by tools that want uniform per-lock rows
+    /// regardless of tier.
+    pub fn tally(&self) -> LockTally {
+        LockTally {
+            acquisitions: self.acquisitions,
+            node_handoffs: self.node_handoffs,
+            wait_count: self.wait.count(),
+            wait_sum: self.wait.sum(),
+            wait_max: self.wait.max(),
+            hold_count: self.hold.count(),
+            hold_sum: self.hold.sum(),
+            hold_max: self.hold.max(),
+            last_node: self.last_node,
+        }
+    }
+}
+
+/// Compact per-lock statistics for the sparse (cold) tier: everything a
+/// [`LockTrace`] counts, minus the histograms and the per-node vector.
+/// Eight words instead of ~1 KiB — cheap enough for millions of lock
+/// indices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockTally {
+    /// Successful acquisitions recorded for this index.
+    pub acquisitions: u64,
+    /// Acquisitions whose node differed from the previous holder's.
+    pub node_handoffs: u64,
+    /// Number of wait-latency samples.
+    pub wait_count: u64,
+    /// Sum of wait latencies, in cycles.
+    pub wait_sum: u64,
+    /// Largest wait latency, in cycles.
+    pub wait_max: u64,
+    /// Number of hold-time samples.
+    pub hold_count: u64,
+    /// Sum of hold times, in cycles.
+    pub hold_sum: u64,
+    /// Largest hold time, in cycles.
+    pub hold_max: u64,
+    last_node: Option<NodeId>,
+}
+
+impl LockTally {
+    /// Node handoffs per handover opportunity, or `None` before the second
+    /// acquisition.
+    pub fn handoff_ratio(&self) -> Option<f64> {
+        if self.acquisitions < 2 {
+            None
+        } else {
+            Some(self.node_handoffs as f64 / (self.acquisitions - 1) as f64)
+        }
+    }
+
+    /// Mean wait latency in cycles, or `None` with no samples.
+    pub fn mean_wait(&self) -> Option<f64> {
+        (self.wait_count > 0).then(|| self.wait_sum as f64 / self.wait_count as f64)
+    }
+
+    /// Mean hold time in cycles, or `None` with no samples.
+    pub fn mean_hold(&self) -> Option<f64> {
+        (self.hold_count > 0).then(|| self.hold_sum as f64 / self.hold_count as f64)
+    }
+
+    fn record(&mut self, node: NodeId) {
+        self.acquisitions += 1;
+        if let Some(prev) = self.last_node {
+            if prev != node {
+                self.node_handoffs += 1;
+            }
+        }
+        self.last_node = Some(node);
+    }
+
+    fn record_wait(&mut self, cycles: u64) {
+        self.wait_count += 1;
+        self.wait_sum += cycles;
+        self.wait_max = self.wait_max.max(cycles);
+    }
+
+    fn record_hold(&mut self, cycles: u64) {
+        self.hold_count += 1;
+        self.hold_sum += cycles;
+        self.hold_max = self.hold_max.max(cycles);
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative:
+    /// every field is a sum or a max, and the holder-continuity marker is
+    /// cleared — a handoff that straddles the merge seam is dropped rather
+    /// than guessed, so `a.merge(b)` and `b.merge(a)` agree exactly.
+    pub fn merge(&mut self, other: &LockTally) {
+        self.acquisitions += other.acquisitions;
+        self.node_handoffs += other.node_handoffs;
+        self.wait_count += other.wait_count;
+        self.wait_sum += other.wait_sum;
+        self.wait_max = self.wait_max.max(other.wait_max);
+        self.hold_count += other.hold_count;
+        self.hold_sum += other.hold_sum;
+        self.hold_max = self.hold_max.max(other.hold_max);
+        self.last_node = None;
+    }
 }
 
 /// All statistics gathered during a simulation run.
 ///
 /// Traffic is recorded by the memory system; lock traces are recorded by
 /// workloads through [`crate::CpuCtx::record_acquire`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SimStats {
     traffic: TrafficCounts,
     /// Traffic attributed per node (index = node id; grown on demand).
     node_traffic: Vec<TrafficCounts>,
+    /// Dense (hot) tier: full traces for lock indices below `hot_limit`.
     locks: Vec<LockTrace>,
+    /// Dense/sparse boundary; indices at or above it land in `cold`.
+    hot_limit: usize,
+    /// Sparse (cold) tier: compact tallies keyed by lock index. A
+    /// `BTreeMap` so iteration — and thus every report built from it — is
+    /// deterministic without a sort.
+    cold: BTreeMap<usize, LockTally>,
     /// Total memory transactions that hit in the requester's cache.
     cache_hits: u64,
     /// Total preemption windows applied.
@@ -88,9 +214,42 @@ pub struct SimStats {
     events: u64,
 }
 
+impl Default for SimStats {
+    fn default() -> SimStats {
+        SimStats::with_hot_limit(DEFAULT_HOT_LOCKS)
+    }
+}
+
 impl SimStats {
-    pub(crate) fn new() -> SimStats {
+    /// Statistics with the default dense/sparse boundary
+    /// ([`DEFAULT_HOT_LOCKS`]).
+    pub fn new() -> SimStats {
         SimStats::default()
+    }
+
+    /// Builds statistics with an explicit dense/sparse boundary: lock
+    /// indices `0..hot_limit` get full [`LockTrace`]s, the rest compact
+    /// [`LockTally`]s. [`crate::Machine`] wires this from
+    /// [`crate::MachineConfig::hot_locks`]; standalone drivers (tests,
+    /// tools) can call it directly.
+    pub fn with_hot_limit(hot_limit: usize) -> SimStats {
+        SimStats {
+            traffic: TrafficCounts::default(),
+            node_traffic: Vec::new(),
+            locks: Vec::new(),
+            hot_limit,
+            cold: BTreeMap::new(),
+            cache_hits: 0,
+            preemptions: 0,
+            migrations: 0,
+            anger_episodes: 0,
+            events: 0,
+        }
+    }
+
+    /// The dense/sparse boundary this run records with.
+    pub fn hot_limit(&self) -> usize {
+        self.hot_limit
     }
 
     /// Coherence traffic so far.
@@ -142,24 +301,59 @@ impl SimStats {
         &self.locks
     }
 
-    /// Aggregate acquisitions across all lock indices.
-    pub fn total_acquisitions(&self) -> u64 {
-        self.locks.iter().map(|t| t.acquisitions).sum()
+    /// Compact tally for a cold-tier lock index, if any event was recorded
+    /// for it.
+    pub fn lock_tally(&self, lock: usize) -> Option<&LockTally> {
+        self.cold.get(&lock)
     }
 
-    /// Aggregate handoff ratio across all locks (acquisition-weighted).
+    /// The cold tier: tallies for every lock index at or above the hot
+    /// limit with at least one recorded event, in index order.
+    pub fn lock_tallies(&self) -> impl Iterator<Item = (usize, &LockTally)> + '_ {
+        self.cold.iter().map(|(&i, t)| (i, t))
+    }
+
+    /// Aggregate acquisitions across both tiers.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.locks.iter().map(|t| t.acquisitions).sum::<u64>()
+            + self.cold.values().map(|t| t.acquisitions).sum::<u64>()
+    }
+
+    /// Aggregate handoff ratio across all locks in both tiers
+    /// (acquisition-weighted).
     pub fn aggregate_handoff_ratio(&self) -> Option<f64> {
         let acq: u64 = self
             .locks
             .iter()
-            .filter(|t| t.acquisitions >= 2)
-            .map(|t| t.acquisitions - 1)
+            .map(|t| (t.acquisitions, t.node_handoffs))
+            .chain(self.cold.values().map(|t| (t.acquisitions, t.node_handoffs)))
+            .filter(|&(a, _)| a >= 2)
+            .map(|(a, _)| a - 1)
             .sum();
         if acq == 0 {
             return None;
         }
-        let hand: u64 = self.locks.iter().map(|t| t.node_handoffs).sum();
+        let hand: u64 = self.locks.iter().map(|t| t.node_handoffs).sum::<u64>()
+            + self.cold.values().map(|t| t.node_handoffs).sum::<u64>();
         Some(hand as f64 / acq as f64)
+    }
+
+    /// Approximate heap footprint of the per-lock statistics, both tiers.
+    /// An estimate in the spirit of [`crate::Profile::approx_bytes`]: the
+    /// memory regression gate compares it against a cap, so it only needs
+    /// to scale correctly with lock count.
+    pub fn approx_lock_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let dense = self.locks.capacity() * size_of::<LockTrace>()
+            + self
+                .locks
+                .iter()
+                .map(|t| t.node_acquires.capacity() * size_of::<u64>())
+                .sum::<usize>();
+        // B-tree nodes hold up to 11 entries with some slack and pointer
+        // overhead; 2x the payload is a fair upper bound.
+        let cold = self.cold.len() * size_of::<(usize, LockTally)>() * 2;
+        dense + cold
     }
 
     fn node_slot(&mut self, node: NodeId) -> &mut TrafficCounts {
@@ -207,6 +401,12 @@ impl SimStats {
         std::mem::take(&mut self.locks)
     }
 
+    /// Moves the cold-tier tallies out as an index-sorted vector (the
+    /// `BTreeMap` iterates in key order), leaving an empty map behind.
+    pub(crate) fn take_tallies(&mut self) -> Vec<(usize, LockTally)> {
+        std::mem::take(&mut self.cold).into_iter().collect()
+    }
+
     fn lock_slot(&mut self, lock: usize) -> &mut LockTrace {
         if self.locks.len() <= lock {
             self.locks.resize_with(lock + 1, LockTrace::default);
@@ -215,15 +415,27 @@ impl SimStats {
     }
 
     pub(crate) fn record_acquire(&mut self, lock: usize, node: NodeId) {
-        self.lock_slot(lock).record(node);
+        if lock < self.hot_limit {
+            self.lock_slot(lock).record(node);
+        } else {
+            self.cold.entry(lock).or_default().record(node);
+        }
     }
 
     pub(crate) fn record_wait(&mut self, lock: usize, cycles: u64) {
-        self.lock_slot(lock).wait.record(cycles);
+        if lock < self.hot_limit {
+            self.lock_slot(lock).wait.record(cycles);
+        } else {
+            self.cold.entry(lock).or_default().record_wait(cycles);
+        }
     }
 
     pub(crate) fn record_hold(&mut self, lock: usize, cycles: u64) {
-        self.lock_slot(lock).hold.record(cycles);
+        if lock < self.hot_limit {
+            self.lock_slot(lock).hold.record(cycles);
+        } else {
+            self.cold.entry(lock).or_default().record_hold(cycles);
+        }
     }
 }
 
@@ -368,6 +580,148 @@ mod tests {
         assert_eq!(t.wait.max(), 200);
         assert_eq!(t.hold.count(), 1);
         assert_eq!(t.acquisitions, 0, "histograms do not imply acquisitions");
+    }
+
+    #[test]
+    fn indices_above_the_hot_limit_land_in_the_cold_tier() {
+        let mut s = SimStats::with_hot_limit(2);
+        s.record_acquire(1, NodeId(0));
+        s.record_acquire(2, NodeId(0));
+        s.record_acquire(2, NodeId(1));
+        s.record_wait(2, 100);
+        s.record_hold(2, 40);
+        // Hot index: full trace, no tally.
+        assert_eq!(s.lock_trace(1).unwrap().acquisitions, 1);
+        assert!(s.lock_tally(1).is_none());
+        // Cold index: tally only; the dense vector never grows past the
+        // hot limit.
+        assert!(s.lock_traces().len() <= 2);
+        let t = s.lock_tally(2).unwrap();
+        assert_eq!(t.acquisitions, 2);
+        assert_eq!(t.node_handoffs, 1);
+        assert_eq!(t.wait_count, 1);
+        assert_eq!(t.wait_sum, 100);
+        assert_eq!(t.hold_max, 40);
+        // Aggregates span both tiers.
+        assert_eq!(s.total_acquisitions(), 3);
+        assert_eq!(s.aggregate_handoff_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn cold_tier_iterates_in_index_order() {
+        let mut s = SimStats::with_hot_limit(0);
+        for lock in [907, 3, 500_000, 42] {
+            s.record_acquire(lock, NodeId(0));
+        }
+        let order: Vec<usize> = s.lock_tallies().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![3, 42, 907, 500_000]);
+        assert_eq!(s.take_tallies().len(), 4);
+        assert_eq!(s.lock_tallies().count(), 0, "take leaves the map empty");
+    }
+
+    #[test]
+    fn tally_agrees_with_dense_trace_on_identical_input() {
+        // Property: for random event sequences, a cold-tier tally reports
+        // exactly the aggregates the dense trace would.
+        for seed in 0..8u64 {
+            let mut rng = crate::SplitMix64::new(0xC01D ^ seed);
+            let mut hot = SimStats::with_hot_limit(usize::MAX);
+            let mut cold = SimStats::with_hot_limit(0);
+            for _ in 0..200 {
+                let node = NodeId(rng.next_below(4) as usize);
+                match rng.next_below(3) {
+                    0 => {
+                        hot.record_acquire(7, node);
+                        cold.record_acquire(7, node);
+                    }
+                    1 => {
+                        let c = rng.next_below(10_000);
+                        hot.record_wait(7, c);
+                        cold.record_wait(7, c);
+                    }
+                    _ => {
+                        let c = rng.next_below(3_000);
+                        hot.record_hold(7, c);
+                        cold.record_hold(7, c);
+                    }
+                }
+            }
+            let dense = hot.lock_trace(7).unwrap().tally();
+            let tally = *cold.lock_tally(7).unwrap();
+            assert_eq!(dense, tally, "seed {seed}");
+            assert_eq!(hot.total_acquisitions(), cold.total_acquisitions());
+            assert_eq!(
+                hot.aggregate_handoff_ratio(),
+                cold.aggregate_handoff_ratio(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tally_merge_commutes_and_associates() {
+        // Property: merging per-shard tallies must not depend on shard
+        // order, or multi-job runs would produce different reports than
+        // single-job runs.
+        let mk = |seed: u64| {
+            let mut rng = crate::SplitMix64::new(seed);
+            let mut t = LockTally::default();
+            for _ in 0..50 {
+                match rng.next_below(3) {
+                    0 => t.record(NodeId(rng.next_below(4) as usize)),
+                    1 => t.record_wait(rng.next_below(10_000)),
+                    _ => t.record_hold(rng.next_below(3_000)),
+                }
+            }
+            t
+        };
+        for seed in 0..8u64 {
+            let (a, b, c) = (mk(seed), mk(seed ^ 0xAB), mk(seed ^ 0xCD));
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert_eq!(ab, ba, "seed {seed}: merge must commute");
+
+            let mut ab_c = ab;
+            ab_c.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut a_bc = a;
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "seed {seed}: merge must associate");
+
+            // Counts always sum exactly across the merge.
+            assert_eq!(ab.acquisitions, a.acquisitions + b.acquisitions);
+            assert_eq!(ab.wait_sum, a.wait_sum + b.wait_sum);
+            assert_eq!(ab.wait_max, a.wait_max.max(b.wait_max));
+        }
+    }
+
+    /// Release-mode memory regression for the tentpole scale target: a
+    /// million cold-tier lock indices must stay far below the ~1 GiB the
+    /// dense representation would need. Run via `ci.sh` with `--release`.
+    #[test]
+    #[ignore = "release-mode memory regression; run explicitly via ci.sh"]
+    fn million_lock_indices_stay_bounded() {
+        let mut s = SimStats::with_hot_limit(64);
+        for i in 0..1_000_000usize {
+            let node = NodeId(i % 4);
+            s.record_acquire(64 + i, node);
+            s.record_wait(64 + i, (i as u64) % 10_000);
+            s.record_hold(64 + i, (i as u64) % 1_000);
+        }
+        assert_eq!(s.total_acquisitions(), 1_000_000);
+        let bytes = s.approx_lock_bytes();
+        let dense_estimate = 1_000_000 * std::mem::size_of::<LockTrace>();
+        assert!(
+            bytes < 256 * 1024 * 1024,
+            "tiered per-lock stats use {bytes} bytes at 10^6 locks"
+        );
+        assert!(
+            bytes * 4 < dense_estimate,
+            "tiering saves {bytes} vs dense {dense_estimate}"
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! | [`modern`] | Fig. 4/5, Table 2 — the paper's new microbenchmark: fixed processors, non-critical work, variable `critical_work` |
 //! | [`apps`] | Tables 3–6, Figs. 6–7 — synthetic models of the seven lock-heavy SPLASH-2 programs |
 //! | [`barrier`] | sense-free simulated barrier used by the app models |
+//! | [`lockserver`] | extension — sharded million-object lock service with open-loop bursty arrivals |
+//! | [`zipf`] | deterministic Zipfian key sampling for the lockserver |
 //!
 //! Every run is deterministic for a given seed.
 //!
@@ -32,9 +34,11 @@
 
 pub mod apps;
 pub mod barrier;
+pub mod lockserver;
 pub mod modern;
 pub mod traditional;
 pub mod uncontested;
+pub mod zipf;
 
 use hbo_locks::LockKind;
 use nucasim::{SimReport, TrafficCounts};

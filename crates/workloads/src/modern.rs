@@ -361,6 +361,36 @@ mod tests {
     }
 
     #[test]
+    fn profiler_spin_accounting_never_clamps_for_in_repo_locks() {
+        // Every backoff sleep an in-repo lock kind emits lies inside the
+        // acquire window that recorded it, so the profiler's spin residual
+        // (wait − backoff) must never saturate. `spin_clamped` counts the
+        // windows where it did; any nonzero value here means a lock state
+        // machine's backoff accounting has drifted out of its window.
+        for kind in LockKind::ALL {
+            let cfg = ModernConfig {
+                kind,
+                machine: MachineConfig::wildfire(2, 4),
+                threads: 8,
+                iterations: 25,
+                critical_work: 200,
+                private_work: 2_000,
+                ..ModernConfig::default()
+            };
+            let (_, profile) = run_modern_profiled(&cfg);
+            assert!(profile.locks[0].acquires > 0, "{kind}: empty profile");
+            for (i, lock) in profile.locks.iter().enumerate() {
+                debug_assert_eq!(
+                    lock.spin_clamped, 0,
+                    "{kind} lock {i}: {} acquire windows clamped spin",
+                    lock.spin_clamped
+                );
+                assert_eq!(lock.spin_clamped, 0, "{kind} lock {i}");
+            }
+        }
+    }
+
+    #[test]
     fn more_critical_work_takes_longer() {
         let small = quick(LockKind::HboGt, 0);
         let large = quick(LockKind::HboGt, 1500);

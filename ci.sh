@@ -86,15 +86,15 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - <<'EOF'
 import json
 doc = json.load(open("target/ci-prof-on/profile.json"))
-assert doc["version"] == 1, f"unexpected profile schema version {doc['version']}"
+assert doc["version"] == 2, f"unexpected profile schema version {doc['version']}"
 labels = [entry["label"] for entry in doc["labels"]]
 assert labels == sorted(labels), "profile labels not sorted"
-assert len(labels) >= 7, f"expected a profile per lock kind, got {labels}"
+assert len(labels) >= 13, f"expected a profile per registered lock kind, got {labels}"
 for entry in doc["labels"]:
     assert entry["events"] > 0, f"{entry['label']}: empty profile"
     lock = entry["locks"][0]
     for key in ("acquires", "local_handoffs", "remote_handoffs", "chains",
-                "node_acquires", "residency_runs", "wait", "phases"):
+                "node_acquires", "cpu_acquires", "residency_runs", "wait", "phases"):
         assert key in lock, f"{entry['label']}: profile missing {key}"
     # One non-handover acquisition per merged chain (fig5 merges one
     # machine per critical_work level under each lock-kind label).
@@ -107,17 +107,21 @@ for entry in doc["labels"]:
 print(f"profile OK: {len(labels)} labels, schema v{doc['version']}")
 # Overhead gate: streaming profiling must stay cheap. Best-of-three
 # events/s of the profiled leg vs the unprofiled leg, both at full scale
-# and same jobs (measured 0.90-0.93x across containers; the 0.85 floor
-# leaves noise headroom while still catching a gross fold-cost
-# regression — run-to-run jitter on a loaded single-core box reaches
-# ±10%, the same order as the overhead itself).
+# and same jobs. With the paper's 8 kinds this measured 0.90-0.93x
+# across containers; the 13-kind catalog sweep lands at ~0.86x — the
+# queue-family contenders (TICKET/TWA/CNA/RECIP) spend a larger share
+# of their events in fold-heavy categories (handoffs, acquire windows),
+# so the *mix* got costlier, not the fold (the 8-kind ratio is
+# unchanged at ~0.92). The 0.78 floor keeps the same ±10%-jitter
+# headroom below the new operating point while still catching a gross
+# fold-cost regression.
 off = max(json.load(open(f"target/ci-prof-off/bench{r}.json"))["sim_events_per_sec"]
           for r in (1, 2, 3))
 on = max(json.load(open(f"target/ci-prof-on/bench{r}.json"))["sim_events_per_sec"]
          for r in (1, 2, 3))
 ratio = on / off
 line = f"events/s profiled {on/1e6:.1f}M vs plain {off/1e6:.1f}M ({ratio:.2f}x)"
-if ratio < 0.85:
+if ratio < 0.78:
     raise SystemExit(f"FAIL {line} - profiling overhead regression")
 print("OK " + line)
 EOF
@@ -235,13 +239,62 @@ done
     --shards 4 --zipf 0.5 --arrival-gap 8000 \
     --out target/ci-lockserver-flags >/dev/null
 
+echo "==> showdown smoke (deterministic across --jobs and --sched, --kinds flag)"
+./target/release/experiments showdown --fast --jobs 1 \
+    --out target/ci-showdown-j1 >/dev/null
+./target/release/experiments showdown --fast --jobs 4 \
+    --out target/ci-showdown-j4 >/dev/null
+./target/release/experiments showdown --fast --jobs 4 --sched heap \
+    --out target/ci-showdown-heap >/dev/null
+cmp target/ci-showdown-j1/showdown.tsv target/ci-showdown-j4/showdown.tsv
+cmp target/ci-showdown-j1/showdown.tsv target/ci-showdown-heap/showdown.tsv
+if ./target/release/experiments showdown --fast --kinds QOLB >/dev/null 2>&1; then
+    echo "expected an unregistered --kinds name to be rejected as a usage error"
+    exit 1
+fi
+if ./target/release/experiments showdown --fast --kinds "MCS,,CLH" >/dev/null 2>&1; then
+    echo "expected an empty --kinds entry to be rejected as a usage error"
+    exit 1
+fi
+# --kinds narrows the sweep and is flag-order-insensitive: the selection
+# is normalized to catalog registration order before any job runs.
+./target/release/experiments showdown --fast --jobs 2 --kinds CNA,MCS \
+    --out target/ci-showdown-k1 >/dev/null
+./target/release/experiments showdown --fast --jobs 3 --kinds MCS,CNA \
+    --out target/ci-showdown-k2 >/dev/null
+cmp target/ci-showdown-k1/showdown.tsv target/ci-showdown-k2/showdown.tsv
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+# The headline table: every registered kind appears, the modern trio
+# (CNA/TWA/RECIP) rides alongside the paper's eight, and no lock gets
+# faster under the full fault stack.
+rows = [line.rstrip("\n").split("\t")
+        for line in open("target/ci-showdown-j1/showdown.tsv")]
+header, body = rows[0], rows[1:]
+kinds = {r[0] for r in body}
+for required in ("TATAS", "MCS", "HBO_GT_SD", "TICKET", "HIER",
+                 "CNA", "TWA", "RECIP"):
+    assert required in kinds, f"showdown missing {required} rows"
+deg_col = header.index("degradation")
+for r in body:
+    assert float(r[deg_col]) >= 1.0, \
+        f"{r[0]} at {r[header.index('CPUs')]} cpus sped up under faults"
+print(f"showdown OK: {len(kinds)} kinds x {len(body)//len(kinds)} cpu counts")
+EOF
+fi
+
 echo "==> million-lock memory regression (tiered per-lock stats, release)"
 cargo test --release -q -p nucasim --lib -- --ignored \
     million_lock_indices_stay_bounded
 
 echo "==> model checker smoke (exhaustive pass, mutants caught, usage errors)"
-./target/release/nuca-mcheck --kind all --cpus 2 \
-    --bench-json target/ci-experiments/mcheck.json
+out=$(./target/release/nuca-mcheck --kind all --cpus 2 \
+    --bench-json target/ci-experiments/mcheck.json 2>&1)
+echo "$out" | tail -1
+if ! grep -q "checked 13 subject" <<<"$out"; then
+    echo "expected --kind all to exhaust every registered kind (13 subjects)"
+    exit 1
+fi
 for mutant in racy_tatas leaky_hbo_gt; do
     if out=$(./target/release/nuca-mcheck --kind "$mutant" 2>/dev/null); then
         echo "expected the $mutant mutant to fail the checker"
@@ -252,6 +305,16 @@ for mutant in racy_tatas leaky_hbo_gt; do
         exit 1
     fi
 done
+# The CNA splice mutant drops the secondary queue on handoff; two CPUs
+# never populate it, so the checker needs a third to expose the loss.
+if out=$(./target/release/nuca-mcheck --kind splice_lost_cna --cpus 3 2>/dev/null); then
+    echo "expected the splice_lost_cna mutant to fail the checker at 3 cpus"
+    exit 1
+fi
+if ! grep -q "counterexample for" <<<"$out"; then
+    echo "expected a rendered counterexample for splice_lost_cna"
+    exit 1
+fi
 if ./target/release/nuca-mcheck --cpus two >/dev/null 2>&1; then
     echo "expected non-numeric --cpus to be rejected as a usage error"
     exit 1

@@ -7,7 +7,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hbo_bench::contended_increments;
-use hbo_locks::LockKind;
 
 const ITER_PER_THREAD: u64 = 5_000;
 
@@ -21,7 +20,7 @@ fn bench_contended(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(3));
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.as_str()),
             &kind,

@@ -6,13 +6,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hbo_bench::uncontested_pair;
-use hbo_locks::LockKind;
 
 fn bench_uncontested(c: &mut Criterion) {
     let mut group = c.benchmark_group("uncontested_acquire_release");
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         let lock = kind.instantiate(2);
         group.bench_function(kind.as_str(), |b| {
             b.iter(|| uncontested_pair(std::hint::black_box(&lock)));

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn contended_increments_exact() {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             assert_eq!(contended_increments(kind, 2, 2_000), 4_000);
         }
     }
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn uncontested_pair_runs() {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let lock = kind.instantiate(2);
             uncontested_pair(&lock);
             uncontested_pair(&lock);

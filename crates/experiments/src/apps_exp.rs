@@ -29,13 +29,13 @@ fn run_all(scale: Scale, threads: usize) -> Vec<(AppModel, Vec<AppReport>)> {
     let apps = studied_apps();
     let jobs: Vec<_> = apps
         .iter()
-        .flat_map(|app| LockKind::ALL.iter().map(|&kind| (app.clone(), kind)))
+        .flat_map(|app| hbo_locks::LockCatalog::paper().iter().map(|&kind| (app.clone(), kind)))
         .map(|(app, kind)| move || run_app(&app, &app_cfg(scale, kind, threads)))
         .collect();
     let mut results = runner::run_jobs(jobs).into_iter();
     apps.into_iter()
         .map(|app| {
-            let runs = LockKind::ALL
+            let runs = hbo_locks::LockCatalog::paper()
                 .iter()
                 .map(|_| results.next().expect("one result per grid cell"))
                 .collect();
@@ -46,7 +46,7 @@ fn run_all(scale: Scale, threads: usize) -> Vec<(AppModel, Vec<AppReport>)> {
 
 fn lock_header() -> Vec<&'static str> {
     let mut cols = vec!["Program"];
-    cols.extend(LockKind::ALL.iter().map(|k| k.as_str()));
+    cols.extend(hbo_locks::LockCatalog::paper().iter().map(|k| k.as_str()));
     cols
 }
 
@@ -58,7 +58,7 @@ pub fn run_table5(scale: Scale) -> Report {
         "Application execution time (s), 28-processor runs, 14 threads per node",
         &lock_header(),
     );
-    let mut sums = vec![0.0f64; LockKind::ALL.len()];
+    let mut sums = vec![0.0f64; hbo_locks::LockCatalog::paper().len()];
     let all = run_all(scale, threads);
     for (app, runs) in &all {
         let mut row = vec![app.name.to_owned()];

@@ -73,6 +73,52 @@ pub fn parse_zipf(value: Option<&str>) -> Result<f64, String> {
     }
 }
 
+/// Parses the operand of `--kinds`: a comma-separated subset of the
+/// registered lock names (case-insensitive), applied by
+/// [`crate::kinds::select`] to the kind-sweeping artifacts.
+///
+/// # Errors
+///
+/// Returns a usage message — with the full catalog menu — when the
+/// operand is missing, empty, or names an unregistered lock. An unknown
+/// name is a hard error, not a skip: silently dropping a typo would run a
+/// sweep that looks complete but is not.
+pub fn parse_kinds(value: Option<&str>) -> Result<Vec<hbo_locks::LockKind>, String> {
+    let menu = hbo_locks::LockCatalog::menu();
+    let Some(raw) = value else {
+        return Err(format!(
+            "--kinds requires a comma-separated subset of: {menu}"
+        ));
+    };
+    let mut kinds = Vec::new();
+    for name in raw.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!(
+                "--kinds has an empty entry in `{raw}`; expected names from: {menu}"
+            ));
+        }
+        match hbo_locks::LockCatalog::parse(name) {
+            Ok(kind) => {
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+            Err(_) => {
+                return Err(format!(
+                    "--kinds: unknown lock `{name}`; registered kinds: {menu}"
+                ))
+            }
+        }
+    }
+    if kinds.is_empty() {
+        return Err(format!(
+            "--kinds selected nothing; expected names from: {menu}"
+        ));
+    }
+    Ok(kinds)
+}
+
 /// Parses the operand of `--arrival-gap` (lockserver mean cycles between
 /// request batches).
 ///
@@ -168,6 +214,32 @@ mod tests {
             assert!(err.contains("--zipf"), "{bad}: {err}");
         }
         assert!(parse_zipf(None).is_err());
+    }
+
+    #[test]
+    fn kinds_parses_names_dedups_and_keeps_flag_order() {
+        use hbo_locks::LockKind;
+        assert_eq!(
+            parse_kinds(Some("TATAS,MCS,CNA")),
+            Ok(vec![LockKind::Tatas, LockKind::Mcs, LockKind::Cna])
+        );
+        // Case-insensitive, whitespace-tolerant, duplicate-collapsing.
+        assert_eq!(
+            parse_kinds(Some(" twa , TWA ,recip")),
+            Ok(vec![LockKind::Twa, LockKind::Recip])
+        );
+    }
+
+    #[test]
+    fn kinds_rejects_unknown_names_with_the_catalog_menu() {
+        let err = parse_kinds(Some("TATAS,QOLB")).unwrap_err();
+        assert!(err.contains("QOLB"), "{err}");
+        assert!(err.contains("TATAS") && err.contains("RECIP"), "{err}");
+        for bad in ["", ",", "MCS,,CLH"] {
+            let err = parse_kinds(Some(bad)).unwrap_err();
+            assert!(err.contains("--kinds"), "`{bad}`: {err}");
+        }
+        assert!(parse_kinds(None).is_err());
     }
 
     #[test]

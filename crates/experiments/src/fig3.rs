@@ -2,7 +2,6 @@
 //! iteration time (left panel) and node-handoff ratio (right panel) as the
 //! processor count grows.
 
-use hbo_locks::LockKind;
 use nuca_workloads::traditional::{run_traditional, TraditionalConfig};
 use nucasim::MachineConfig;
 
@@ -32,7 +31,7 @@ pub fn run(scale: Scale) -> Vec<Report> {
         &header(&proc_counts),
     );
 
-    let jobs: Vec<_> = LockKind::ALL
+    let jobs: Vec<_> = hbo_locks::LockCatalog::paper()
         .iter()
         .flat_map(|&kind| proc_counts.iter().map(move |&p| (kind, p)))
         .map(|(kind, p)| {
@@ -49,7 +48,7 @@ pub fn run(scale: Scale) -> Vec<Report> {
         .collect();
     let results = runner::run_jobs(jobs);
 
-    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+    for (ki, kind) in hbo_locks::LockCatalog::paper().iter().enumerate() {
         let mut trow = vec![kind.as_str().to_owned()];
         let mut hrow = vec![kind.as_str().to_owned()];
         for r in &results[ki * proc_counts.len()..(ki + 1) * proc_counts.len()] {

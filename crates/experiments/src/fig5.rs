@@ -1,14 +1,18 @@
 //! Figure 5 — the new microbenchmark (28 processors): iteration time and
 //! node handoffs vs `critical_work` — and Table 2, the normalized traffic
 //! at `critical_work = 1500`.
+//!
+//! The sweep honors `--kinds` (default: every registered kind, so the
+//! post-2003 contenders ride alongside the paper's eight); Table 2 stays
+//! on the catalog's paper set, normalized to TATAS_EXP as published.
 
-use hbo_locks::LockKind;
+use hbo_locks::{LockCatalog, LockKind};
 use nuca_workloads::modern::{run_modern, ModernConfig};
 use nuca_workloads::MicroReport;
 use nucasim::MachineConfig;
 
 use crate::report::{fmt_ratio, Report};
-use crate::{runner, Scale};
+use crate::{kinds, runner, Scale};
 
 pub(crate) fn config(scale: Scale, kind: LockKind, critical_work: u32) -> ModernConfig {
     let (per_node, iters) = scale.pick((14, 60), (4, 20));
@@ -52,7 +56,8 @@ pub fn run(scale: Scale) -> Vec<Report> {
 
     // One job per (kind, critical_work) grid cell, reassembled in grid
     // order; TATAS cells beyond cw=1300 stay `None` and render as "-".
-    let jobs: Vec<_> = LockKind::ALL
+    let sweep_kinds = kinds::selected();
+    let jobs: Vec<_> = sweep_kinds
         .iter()
         .flat_map(|&kind| cws.iter().map(move |&cw| (kind, cw)))
         .map(|(kind, cw)| {
@@ -67,7 +72,7 @@ pub fn run(scale: Scale) -> Vec<Report> {
         .collect();
     let results = runner::run_jobs(jobs);
 
-    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+    for (ki, kind) in sweep_kinds.iter().enumerate() {
         let mut trow = vec![kind.as_str().to_owned()];
         let mut hrow = vec![kind.as_str().to_owned()];
         for r in &results[ki * cws.len()..(ki + 1) * cws.len()] {
@@ -96,23 +101,24 @@ pub fn run(scale: Scale) -> Vec<Report> {
 /// normalized to TATAS_EXP.
 pub fn run_table2(scale: Scale) -> Report {
     let cw = 1500;
+    let table_kinds = LockCatalog::paper();
     let results: Vec<MicroReport> = runner::run_jobs(
-        LockKind::ALL
+        table_kinds
             .iter()
             .map(|&kind| move || run_modern(&config(scale, kind, cw)))
             .collect(),
     );
-    let baseline_idx = LockKind::ALL
+    let baseline_idx = table_kinds
         .iter()
         .position(|&k| k == LockKind::TatasExp)
-        .expect("TATAS_EXP is in LockKind::ALL");
+        .expect("TATAS_EXP is in the paper set");
     let baseline = &results[baseline_idx];
     let mut report = Report::new(
         "table2",
         "Normalized local and global traffic, new microbenchmark (critical_work=1500)",
         &["Lock Type", "Local Transactions", "Global Transactions"],
     );
-    for (kind, r) in LockKind::ALL.iter().zip(&results) {
+    for (kind, r) in table_kinds.iter().zip(&results) {
         report.push_row(vec![
             kind.as_str().to_owned(),
             format!("{:.2}", r.traffic.local as f64 / baseline.traffic.local as f64),
@@ -138,10 +144,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn panels_cover_all_locks() {
+    fn panels_cover_all_selected_locks() {
         let reports = run(Scale::Fast);
         assert_eq!(reports.len(), 2);
-        assert_eq!(reports[0].rows(), 8);
+        assert_eq!(reports[0].rows(), kinds::selected().len());
+        // The modern contenders ride alongside the paper's eight.
+        assert!(reports[0].row_by_key("CNA").is_some());
+        assert!(reports[0].row_by_key("RECIP").is_some());
         // TATAS is dashed out beyond cw=1300.
         let tatas = reports[0].row_by_key("TATAS").unwrap();
         assert_eq!(tatas.last().unwrap(), "-");

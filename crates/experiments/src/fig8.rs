@@ -1,7 +1,6 @@
 //! Figure 8 — fairness: the spread between the first and last thread to
 //! finish the new microbenchmark.
 
-use hbo_locks::LockKind;
 use nuca_workloads::modern::{run_modern, ModernConfig};
 use nucasim::MachineConfig;
 
@@ -17,7 +16,7 @@ pub fn run(scale: Scale) -> Report {
         &["Lock Type", "Spread %"],
     );
     let results = runner::run_jobs(
-        LockKind::ALL
+        hbo_locks::LockCatalog::paper()
             .iter()
             .map(|&kind| {
                 move || {
@@ -33,7 +32,7 @@ pub fn run(scale: Scale) -> Report {
             })
             .collect(),
     );
-    for (kind, r) in LockKind::ALL.iter().zip(&results) {
+    for (kind, r) in hbo_locks::LockCatalog::paper().iter().zip(&results) {
         let spread = r.finish_spread.unwrap_or(f64::NAN) * 100.0;
         report.push_row(vec![kind.as_str().to_owned(), format!("{spread:.1}")]);
     }

@@ -1,0 +1,57 @@
+//! Process-global lock-kind selection — the `--kinds` flag.
+//!
+//! The kind-sweeping artifacts (`fig5`, `lat_hist`, `robustness`,
+//! `handoff`, `lockserver`, `showdown`) iterate [`selected`] instead of a
+//! hard-coded list: by default that is every kind registered in the
+//! [`hbo_locks::LockCatalog`], and `--kinds TATAS,MCS,CNA` narrows it to
+//! an ad-hoc subset for quick head-to-head runs. Paper-faithful artifacts
+//! (Table 1/2, Fig. 3/8/9/10, the app studies) deliberately ignore the
+//! selection and stay on [`hbo_locks::LockCatalog::paper`], so their
+//! outputs keep reproducing the paper regardless of the flag.
+//!
+//! Selection order is normalized to registration order no matter how the
+//! flag spells it, so `--kinds MCS,TATAS` and `--kinds TATAS,MCS` produce
+//! byte-identical TSVs.
+
+use std::sync::OnceLock;
+
+use hbo_locks::{LockCatalog, LockKind};
+
+static SELECTION: OnceLock<Vec<LockKind>> = OnceLock::new();
+
+/// Applies the `--kinds` flag for the rest of the process. The first call
+/// wins; later calls are ignored (the CLI parses flags once).
+pub fn select(kinds: Vec<LockKind>) {
+    let mut ordered: Vec<LockKind> = LockCatalog::kinds()
+        .iter()
+        .copied()
+        .filter(|k| kinds.contains(k))
+        .collect();
+    if ordered.is_empty() {
+        ordered = LockCatalog::kinds().to_vec();
+    }
+    let _ = SELECTION.set(ordered);
+}
+
+/// The kinds the kind-sweeping artifacts iterate, in registration order:
+/// the `--kinds` selection if one was applied, otherwise every registered
+/// kind.
+pub fn selected() -> &'static [LockKind] {
+    SELECTION
+        .get()
+        .map(Vec::as_slice)
+        .unwrap_or_else(|| LockCatalog::kinds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_selection_is_the_whole_catalog() {
+        // `select` is process-global, so tests must not call it — every
+        // artifact test in this crate relies on the full default.
+        assert_eq!(selected(), LockCatalog::kinds());
+        assert!(selected().len() >= 13);
+    }
+}

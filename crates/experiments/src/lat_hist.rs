@@ -14,7 +14,7 @@ use nucasim::cycles_to_ns;
 use nuca_workloads::modern::run_modern_raw;
 
 use crate::report::Report;
-use crate::{fig5, runner, Scale};
+use crate::{fig5, kinds, runner, Scale};
 
 /// Runs the sweep and renders the percentile table.
 pub fn run(scale: Scale) -> Report {
@@ -30,7 +30,8 @@ pub fn run(scale: Scale) -> Report {
     );
 
     // Same grid — and same TATAS dash rule — as Fig. 5.
-    let jobs: Vec<_> = LockKind::ALL
+    let sweep_kinds = kinds::selected();
+    let jobs: Vec<_> = sweep_kinds
         .iter()
         .flat_map(|&kind| cws.iter().map(move |&cw| (kind, cw)))
         .map(|(kind, cw)| {
@@ -46,7 +47,7 @@ pub fn run(scale: Scale) -> Report {
         .collect();
     let results = runner::run_jobs(jobs);
 
-    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+    for (ki, kind) in sweep_kinds.iter().enumerate() {
         let mut row = vec![kind.as_str().to_owned()];
         for r in &results[ki * cws.len()..(ki + 1) * cws.len()] {
             row.push(match r {
@@ -83,8 +84,8 @@ mod tests {
     #[test]
     fn covers_all_locks_with_percentile_cells() {
         let r = run(Scale::Fast);
-        assert_eq!(r.rows(), LockKind::ALL.len());
-        for kind in LockKind::ALL {
+        assert_eq!(r.rows(), kinds::selected().len());
+        for &kind in kinds::selected() {
             let row = r.row_by_key(kind.as_str()).unwrap();
             // Every measured cell is "p50/p99/max".
             let measured: Vec<&String> =

@@ -29,6 +29,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod hier_exp;
 pub mod json;
+pub mod kinds;
 pub mod lat_hist;
 pub mod lockserver;
 pub mod nuca_ratio;
@@ -37,6 +38,7 @@ pub mod raytrace_exp;
 pub mod report;
 pub mod robustness;
 pub mod runner;
+pub mod showdown;
 pub mod table1;
 pub mod table3;
 pub mod ticket_exp;
@@ -92,7 +94,7 @@ pub const EXPERIMENTS: [&str; 13] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXTENSIONS: [&str; 8] = [
+pub const EXTENSIONS: [&str; 9] = [
     "nuca_ratio",
     "hier",
     "colloc",
@@ -101,6 +103,7 @@ pub const EXTENSIONS: [&str; 8] = [
     "robustness",
     "handoff",
     "lockserver",
+    "showdown",
 ];
 
 /// Runs one experiment (or `all`) and returns its report(s).
@@ -131,6 +134,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "robustness" => Ok(vec![robustness::run(scale)]),
         "handoff" => Ok(vec![profiler::run_handoff(scale)]),
         "lockserver" => Ok(vec![lockserver::run(scale)]),
+        "showdown" => Ok(vec![showdown::run(scale)]),
         "all" => {
             // Fan the artifacts out across orchestration threads (their
             // leaf sim jobs share the global --jobs budget) and flatten

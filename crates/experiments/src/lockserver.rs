@@ -25,7 +25,7 @@ use nucasim::MachineConfig;
 
 use crate::report::{fmt_ratio, Report};
 use crate::robustness::{levels, Disturbance};
-use crate::{runner, Scale};
+use crate::{kinds, runner, Scale};
 
 /// `--shards` override; 0 means "use the sweep's default axis".
 static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -148,7 +148,7 @@ pub struct SweepRow {
 pub fn sweep(scale: Scale) -> Vec<SweepRow> {
     let shard_counts = shard_axis(scale);
     let dist = disturbances(scale);
-    let grid: Vec<(LockKind, usize)> = LockKind::ALL
+    let grid: Vec<(LockKind, usize)> = kinds::selected()
         .iter()
         .flat_map(|&kind| shard_counts.iter().map(move |&s| (kind, s)))
         .collect();
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn report_covers_the_grid() {
         let r = run(Scale::Fast);
-        assert_eq!(r.rows(), LockKind::ALL.len() * 2);
+        assert_eq!(r.rows(), kinds::selected().len() * 2);
     }
 
     #[test]

@@ -20,9 +20,9 @@ use nuca_experiments::{run_experiment, runner, tracecap, Report, Scale, EXPERIME
 use nuca_experiments::UnknownExperiment;
 
 const USAGE: &str = "usage: experiments [--fast] [--out DIR] [--jobs N] \
-     [--sched wheel|heap|check] [--bench-json PATH] [--trace PATH] \
-     [--metrics-json PATH] [--profile PATH] [--shards N] [--zipf THETA] \
-     [--arrival-gap CYCLES] <id>... | all | --list";
+     [--sched wheel|heap|check] [--kinds NAME,NAME,...] [--bench-json PATH] \
+     [--trace PATH] [--metrics-json PATH] [--profile PATH] [--shards N] \
+     [--zipf THETA] [--arrival-gap CYCLES] <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +55,14 @@ fn main() -> ExitCode {
             },
             "--sched" => match nuca_experiments::cli::parse_sched(iter.next().as_deref()) {
                 Ok(kind) => nucasim::set_default_sched(kind),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kinds" => match nuca_experiments::cli::parse_kinds(iter.next().as_deref()) {
+                Ok(kinds) => nuca_experiments::kinds::select(kinds),
                 Err(msg) => {
                     eprintln!("{msg}");
                     eprintln!("{USAGE}");
@@ -119,6 +127,7 @@ fn main() -> ExitCode {
                 println!("paper artifacts: {}", EXPERIMENTS.join(", "));
                 println!("extensions:      {}", EXTENSIONS.join(", "));
                 println!("meta:            all");
+                println!("lock kinds:      {}", hbo_locks::LockCatalog::menu());
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {

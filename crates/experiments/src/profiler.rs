@@ -27,11 +27,12 @@ use nucasim::{LockProfile, MachineConfig, Profile, SimReport};
 use crate::json::JsonWriter;
 use crate::report::{fmt_ratio, Report};
 use crate::tracecap::CAPTURE_CRITICAL_WORK;
-use crate::{runner, tracecap, Scale};
+use crate::{kinds, runner, tracecap, Scale};
 
 /// Version stamp of the `--profile` JSON document (bump on any
-/// field/shape change; ci.sh validates against it).
-pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+/// field/shape change; ci.sh validates against it). v2 added the
+/// per-CPU acquisition counts behind the starved-CPU column.
+pub const PROFILE_SCHEMA_VERSION: u64 = 2;
 
 /// CPUs-per-node steps of the handoff sweep (×2 nodes = total CPUs; the
 /// full sweep tops out at the paper's 28-processor WildFire).
@@ -88,6 +89,11 @@ fn cross_check(kind: LockKind, cpus: usize, report: &SimReport, profile: &Profil
         prof.acquires,
         "{ctx}: every acquire got a decomposed window"
     );
+    assert_eq!(
+        prof.cpu_acquires.iter().sum::<u64>(),
+        prof.acquires,
+        "{ctx}: per-CPU acquire counts"
+    );
 }
 
 /// One percentage cell, one decimal (integer-derived, so TSVs stay
@@ -114,6 +120,7 @@ pub fn run_handoff(scale: Scale) -> Report {
             "Local HO",
             "Remote HO",
             "Remote Rate",
+            "Starved CPUs",
             "Mean Run",
             "Spin %",
             "Backoff Local %",
@@ -126,7 +133,8 @@ pub fn run_handoff(scale: Scale) -> Report {
 
     // One job per (kind, per_node) grid cell, reassembled in grid order
     // so the TSV is byte-identical at any --jobs level.
-    let jobs: Vec<_> = LockKind::ALL
+    let sweep_kinds = kinds::selected();
+    let jobs: Vec<_> = sweep_kinds
         .iter()
         .flat_map(|&kind| per_nodes.iter().map(move |&pn| (kind, pn)))
         .map(|(kind, pn)| {
@@ -139,7 +147,7 @@ pub fn run_handoff(scale: Scale) -> Report {
         .collect();
     let results = runner::run_jobs(jobs);
 
-    for ((kind, pn), profile) in LockKind::ALL
+    for ((kind, pn), profile) in sweep_kinds
         .iter()
         .flat_map(|&kind| per_nodes.iter().map(move |&pn| (kind, pn)))
         .zip(&results)
@@ -153,6 +161,7 @@ pub fn run_handoff(scale: Scale) -> Report {
             lock.local_handoffs.to_string(),
             lock.remote_handoffs.to_string(),
             fmt_ratio(lock.remote_handoff_rate()),
+            lock.starved_cpus(pn * 2).to_string(),
             match lock.mean_residency_run() {
                 Some(m) => format!("{m:.1}"),
                 None => "-".to_owned(),
@@ -168,6 +177,13 @@ pub fn run_handoff(scale: Scale) -> Report {
     report.push_note(
         "remote rate = node handoffs / handover opportunities (lower = more \
          node-local); mean run = consecutive same-node acquisitions",
+    );
+    report.push_note(
+        "starved CPUs = contenders that never acquired once: a low remote \
+         rate is only locality if this column is 0 — in a bounded window \
+         TATAS posts near-0.00 rates by locking whole CPUs out; here every \
+         thread has a fixed quota, so 0 certifies the starvation stayed \
+         transient",
     );
     report.push_note(
         "paper: the HBO family trades longer backoff phases for node-local \
@@ -205,6 +221,12 @@ pub fn profile_json(profiles: &[(String, Profile)]) -> String {
             w.key("node_acquires");
             w.begin_array();
             for &n in &lock.node_acquires {
+                w.number_u64(n);
+            }
+            w.end_array();
+            w.key("cpu_acquires");
+            w.begin_array();
+            for &n in &lock.cpu_acquires {
                 w.number_u64(n);
             }
             w.end_array();
@@ -272,9 +294,15 @@ mod tests {
     #[test]
     fn handoff_grid_covers_all_kinds_and_cpu_counts() {
         let report = run_handoff(Scale::Fast);
-        assert_eq!(report.rows(), LockKind::ALL.len() * 2);
+        assert_eq!(report.rows(), kinds::selected().len() * 2);
         let hbo = report.row_by_key("HBO_GT_SD").unwrap();
         assert_ne!(hbo[5], "-", "HBO_GT_SD remote rate missing");
+        // The starved-CPU column parses for every row, and the FIFO queue
+        // locks — which structurally cannot starve — report zero.
+        for key in ["MCS", "TICKET", "TWA"] {
+            let row = report.row_by_key(key).unwrap();
+            assert_eq!(row[6], "0", "{key} starved a CPU under FIFO order");
+        }
     }
 
     #[test]
@@ -343,6 +371,7 @@ mod tests {
             "\"labels\"",
             "\"label\"",
             "\"remote_handoffs\"",
+            "\"cpu_acquires\"",
             "\"residency_runs\"",
             "\"phases\"",
             "\"critical_path\"",

@@ -2,7 +2,6 @@
 //! and 30 processors (the 30-processor runs suffer OS preemption, which
 //! collapses the queue locks), and the speedup curve.
 
-use hbo_locks::LockKind;
 use nuca_topology::Topology;
 use nuca_workloads::apps::{app_by_name, run_app, AppReport, AppRunConfig};
 use nucasim::{MachineConfig, PreemptionConfig};
@@ -49,7 +48,7 @@ pub fn run_table4(scale: Scale) -> Report {
     // Three independent runs per lock (1p, 28p, 30p-preempted), flattened
     // into one job list and read back per lock in fixed order.
     let mut jobs: Vec<Box<dyn FnOnce() -> AppReport + Send>> = Vec::new();
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::paper() {
         let ray1 = ray.clone();
         jobs.push(Box::new(move || run_app(&ray1, &app_cfg(scale, kind, 1))));
         let ray28 = ray.clone();
@@ -66,7 +65,7 @@ pub fn run_table4(scale: Scale) -> Report {
         }));
     }
     let results = runner::run_jobs(jobs);
-    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+    for (ki, kind) in hbo_locks::LockCatalog::paper().iter().enumerate() {
         let [one, twenty_eight, thirty] = &results[ki * 3..ki * 3 + 3] else {
             unreachable!("three runs per lock kind");
         };
@@ -96,7 +95,7 @@ pub fn run_fig7(scale: Scale) -> Report {
     // Per lock: the sequential baseline plus each swept processor count
     // (the p=1 sweep point reruns the baseline config, as the serial code
     // did, keeping the output byte-identical).
-    let jobs: Vec<_> = LockKind::ALL
+    let jobs: Vec<_> = hbo_locks::LockCatalog::paper()
         .iter()
         .flat_map(|&kind| {
             let mut cells = vec![(kind, 1usize)];
@@ -110,7 +109,7 @@ pub fn run_fig7(scale: Scale) -> Report {
         .collect();
     let results = runner::run_jobs(jobs);
     let stride = 1 + counts.len();
-    for (ki, kind) in LockKind::ALL.iter().enumerate() {
+    for (ki, kind) in hbo_locks::LockCatalog::paper().iter().enumerate() {
         let chunk = &results[ki * stride..(ki + 1) * stride];
         let seq = &chunk[0];
         let mut row = vec![kind.as_str().to_owned()];

@@ -18,7 +18,7 @@ use nucasim::{
 };
 
 use crate::report::{fmt_secs, Report};
-use crate::{runner, Scale};
+use crate::{kinds, runner, Scale};
 
 /// One disturbance level of the sweep.
 #[derive(Debug, Clone, Copy)]
@@ -165,7 +165,7 @@ fn cell_cfg(scale: Scale, kind: LockKind, cpus: usize, d: &Disturbance) -> Moder
 pub fn sweep(scale: Scale) -> Vec<SweepRow> {
     let cpu_counts: Vec<usize> = scale.pick(vec![8, 28], vec![4, 8]);
     let lv = levels(scale);
-    let grid: Vec<(LockKind, usize)> = LockKind::ALL
+    let grid: Vec<(LockKind, usize)> = kinds::selected()
         .iter()
         .flat_map(|&kind| cpu_counts.iter().map(move |&c| (kind, c)))
         .collect();
@@ -288,6 +288,6 @@ mod tests {
     #[test]
     fn report_has_one_row_per_kind_and_cpu_count() {
         let r = run(Scale::Fast);
-        assert_eq!(r.rows(), LockKind::ALL.len() * 2);
+        assert_eq!(r.rows(), kinds::selected().len() * 2);
     }
 }

@@ -1,6 +1,5 @@
 //! Table 1 — uncontested performance of a single acquire-release pair.
 
-use hbo_locks::LockKind;
 use nuca_workloads::uncontested::run_uncontested;
 use nucasim::MachineConfig;
 use nucasim_locks::SimLockParams;
@@ -18,7 +17,7 @@ pub fn run(scale: Scale) -> Report {
     let cpus = scale.pick(14, 2);
     let machine = MachineConfig::wildfire(2, cpus);
     let params = SimLockParams::default();
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::paper() {
         let r = run_uncontested(kind, &machine, &params);
         report.push_row(vec![
             kind.as_str().to_owned(),

@@ -5,7 +5,7 @@
 //! configuration Table 2 reports traffic for). The capture is dispatched
 //! through [`runner::run_jobs`], so the emitted files are byte-identical
 //! at any `--jobs` level: jobs may *execute* in any order, but results are
-//! reassembled in [`LockKind::ALL`] order before a byte is written.
+//! reassembled in [`hbo_locks::LockCatalog::paper()`] order before a byte is written.
 //!
 //! `--trace` writes Chrome trace-event JSON (load it at
 //! <https://ui.perfetto.dev>): one process track per lock algorithm, one
@@ -43,9 +43,9 @@ pub struct Capture {
 /// The `critical_work` level captured (the Table 2 operating point).
 pub const CAPTURE_CRITICAL_WORK: u32 = 1500;
 
-/// Runs one traced capture per lock algorithm, in [`LockKind::ALL`] order.
+/// Runs one traced capture per lock algorithm, in [`hbo_locks::LockCatalog::paper()`] order.
 pub fn capture(scale: Scale) -> Vec<Capture> {
-    let jobs: Vec<_> = LockKind::ALL
+    let jobs: Vec<_> = hbo_locks::LockCatalog::paper()
         .iter()
         .map(|&kind| {
             move || {
@@ -456,7 +456,7 @@ mod tests {
     #[test]
     fn capture_covers_all_kinds_with_monotone_cpu_timestamps() {
         let caps = fast_captures();
-        assert_eq!(caps.len(), LockKind::ALL.len());
+        assert_eq!(caps.len(), hbo_locks::LockCatalog::paper().len());
         for cap in &caps {
             assert!(cap.report.finished_all, "{} did not finish", cap.kind);
             assert!(!cap.records.is_empty(), "{} traced nothing", cap.kind);
@@ -504,7 +504,7 @@ mod tests {
             "no ThrottleSpin events"
         );
         // One process track per algorithm.
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::paper() {
             assert!(json.contains(&format!("\"name\":\"{}\"", kind.as_str())));
         }
         // Counter tracks ride along on the same timeline.
@@ -521,7 +521,7 @@ mod tests {
     fn metrics_json_reports_percentiles_per_kind() {
         let caps = fast_captures();
         let json = metrics_json(Scale::Fast, &caps);
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::paper() {
             assert!(json.contains(&format!("\"kind\": \"{}\"", kind.as_str())));
         }
         assert!(json.contains("\"p50_ns\""));

@@ -1,29 +1,35 @@
 //! Runtime-selectable lock algorithm: [`LockKind`] and [`AnyLock`].
 //!
-//! Benchmarks and experiments iterate over all eight of the paper's
-//! algorithms; `AnyLock` gives them a single concrete type to do it with,
-//! at the cost of one `match` per operation.
+//! Benchmarks and experiments iterate the lock registry
+//! ([`crate::LockCatalog`]); `AnyLock` gives them a single concrete type
+//! to do it with, at the cost of one `match` per operation. `LockKind`
+//! itself carries no metadata — names, families, years and capability
+//! flags live in the catalog, which every method here delegates to.
 
 use std::fmt;
 use std::sync::Arc;
 
-use nuca_topology::NodeId;
+use nuca_topology::{NodeId, Topology};
 
+use crate::registry::LockCatalog;
 use crate::{
-    ClhLock, ClhToken, GtContext, HboGtLock, HboGtSdConfig, HboGtSdLock, HboGtSdToken, HboGtToken,
-    HboLock, HboToken, McsLock, McsToken, NucaLock, RhLock, RhToken, TatasExpLock, TatasLock,
-    TatasToken,
+    ClhLock, ClhToken, CnaLock, CnaToken, GtContext, HboGtLock, HboGtSdConfig, HboGtSdLock,
+    HboGtSdToken, HboGtToken, HboLock, HboToken, HierHboLock, HierHboToken, LevelBackoff,
+    LockFamily, McsLock, McsToken, NucaLock, RecipLock, RecipToken, RhLock, RhToken,
+    TatasExpLock, TatasLock, TatasToken, TicketLock, TicketToken, TwaLock, TwaToken,
 };
 
-/// The eight locking algorithms evaluated by the paper, in its order.
+/// A registered locking algorithm. Variant order mirrors the catalog's
+/// registration order: the paper's eight, the library extensions, then
+/// the post-2003 contenders.
 ///
 /// # Example
 ///
 /// ```
-/// use hbo_locks::LockKind;
-/// assert_eq!(LockKind::ALL.len(), 8);
+/// use hbo_locks::{LockCatalog, LockKind};
+/// assert!(LockCatalog::kinds().len() >= 13);
 /// assert_eq!(LockKind::HboGtSd.as_str(), "HBO_GT_SD");
-/// assert_eq!("MCS".parse::<LockKind>().unwrap(), LockKind::Mcs);
+/// assert_eq!("CNA".parse::<LockKind>().unwrap(), LockKind::Cna);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LockKind {
@@ -43,54 +49,38 @@ pub enum LockKind {
     HboGt,
     /// HBO_GT with starvation detection.
     HboGtSd,
+    /// FIFO ticket lock with proportional backoff.
+    Ticket,
+    /// Multi-level HBO (the paper's "expand hierarchically" remark).
+    Hier,
+    /// Compact NUMA-aware MCS variant (secondary-queue splicing).
+    Cna,
+    /// Ticket lock with a hashed waiting array.
+    Twa,
+    /// Reciprocating lock (palindromic admission segments).
+    Recip,
 }
 
 impl LockKind {
-    /// All kinds, in the paper's presentation order.
-    pub const ALL: [LockKind; 8] = [
-        LockKind::Tatas,
-        LockKind::TatasExp,
-        LockKind::Mcs,
-        LockKind::Clh,
-        LockKind::Rh,
-        LockKind::Hbo,
-        LockKind::HboGt,
-        LockKind::HboGtSd,
-    ];
-
-    /// The three NUCA-aware kinds plus RH.
-    pub const NUCA_AWARE: [LockKind; 4] = [
-        LockKind::Rh,
-        LockKind::Hbo,
-        LockKind::HboGt,
-        LockKind::HboGtSd,
-    ];
-
-    /// The paper's name for this algorithm.
+    /// The canonical display name (from the catalog).
     pub fn as_str(self) -> &'static str {
-        match self {
-            LockKind::Tatas => "TATAS",
-            LockKind::TatasExp => "TATAS_EXP",
-            LockKind::Mcs => "MCS",
-            LockKind::Clh => "CLH",
-            LockKind::Rh => "RH",
-            LockKind::Hbo => "HBO",
-            LockKind::HboGt => "HBO_GT",
-            LockKind::HboGtSd => "HBO_GT_SD",
-        }
+        LockCatalog::info(self).name
     }
 
     /// Whether this algorithm exploits NUCA node locality.
     pub fn is_nuca_aware(self) -> bool {
-        matches!(
-            self,
-            LockKind::Rh | LockKind::Hbo | LockKind::HboGt | LockKind::HboGtSd
-        )
+        LockCatalog::info(self).nuca_aware
     }
 
     /// Whether this algorithm guarantees FIFO order.
+    pub fn is_fifo(self) -> bool {
+        LockCatalog::info(self).fifo
+    }
+
+    /// Whether waiters take an explicit queue position (the catalog's
+    /// `queue` family).
     pub fn is_queue_lock(self) -> bool {
-        matches!(self, LockKind::Mcs | LockKind::Clh)
+        LockCatalog::info(self).family == LockFamily::Queue
     }
 
     /// Instantiates a fresh lock of this kind for a machine with `nodes`
@@ -111,6 +101,15 @@ impl LockKind {
                 GtContext::new(nodes.max(1)),
                 HboGtSdConfig::default(),
             )),
+            LockKind::Ticket => AnyLock::Ticket(TicketLock::new()),
+            // Distance classes: same CPU, same node, cross node.
+            LockKind::Hier => AnyLock::Hier(HierHboLock::new(
+                Arc::new(Topology::symmetric(nodes.max(1), 2)),
+                LevelBackoff::geometric(3, 32, 1024, 4),
+            )),
+            LockKind::Cna => AnyLock::Cna(CnaLock::new()),
+            LockKind::Twa => AnyLock::Twa(TwaLock::new()),
+            LockKind::Recip => AnyLock::Recip(RecipLock::new()),
         }
     }
 }
@@ -125,6 +124,12 @@ impl fmt::Display for LockKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseLockKindError(String);
 
+impl ParseLockKindError {
+    pub(crate) fn new(name: &str) -> ParseLockKindError {
+        ParseLockKindError(name.to_owned())
+    }
+}
+
 impl fmt::Display for ParseLockKindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "unknown lock kind `{}`", self.0)
@@ -137,10 +142,7 @@ impl std::str::FromStr for LockKind {
     type Err = ParseLockKindError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        LockKind::ALL
-            .into_iter()
-            .find(|k| k.as_str().eq_ignore_ascii_case(s))
-            .ok_or_else(|| ParseLockKindError(s.to_owned()))
+        LockCatalog::parse(s)
     }
 }
 
@@ -149,10 +151,10 @@ impl std::str::FromStr for LockKind {
 /// # Example
 ///
 /// ```
-/// use hbo_locks::{LockKind, NucaLock};
+/// use hbo_locks::{LockCatalog, NucaLock};
 /// use nuca_topology::NodeId;
 ///
-/// for kind in LockKind::ALL {
+/// for &kind in LockCatalog::kinds() {
 ///     let lock = kind.instantiate(2);
 ///     let t = lock.acquire(NodeId(0));
 ///     lock.release(t);
@@ -179,6 +181,16 @@ pub enum AnyLock {
     HboGt(HboGtLock),
     /// HBO_GT_SD.
     HboGtSd(HboGtSdLock),
+    /// TICKET.
+    Ticket(TicketLock),
+    /// HIER.
+    Hier(HierHboLock),
+    /// CNA.
+    Cna(CnaLock),
+    /// TWA.
+    Twa(TwaLock),
+    /// RECIP.
+    Recip(RecipLock),
 }
 
 /// Token for [`AnyLock`], mirroring its variants.
@@ -200,6 +212,16 @@ pub enum AnyToken {
     HboGt(HboGtToken),
     /// HBO_GT_SD.
     HboGtSd(HboGtSdToken),
+    /// TICKET.
+    Ticket(TicketToken),
+    /// HIER.
+    Hier(HierHboToken),
+    /// CNA.
+    Cna(CnaToken),
+    /// TWA.
+    Twa(TwaToken),
+    /// RECIP.
+    Recip(RecipToken),
 }
 
 impl AnyLock {
@@ -214,6 +236,11 @@ impl AnyLock {
             AnyLock::Hbo(_) => LockKind::Hbo,
             AnyLock::HboGt(_) => LockKind::HboGt,
             AnyLock::HboGtSd(_) => LockKind::HboGtSd,
+            AnyLock::Ticket(_) => LockKind::Ticket,
+            AnyLock::Hier(_) => LockKind::Hier,
+            AnyLock::Cna(_) => LockKind::Cna,
+            AnyLock::Twa(_) => LockKind::Twa,
+            AnyLock::Recip(_) => LockKind::Recip,
         }
     }
 
@@ -236,6 +263,11 @@ impl NucaLock for AnyLock {
             AnyLock::Hbo(l) => AnyToken::Hbo(l.acquire(node)),
             AnyLock::HboGt(l) => AnyToken::HboGt(l.acquire(node)),
             AnyLock::HboGtSd(l) => AnyToken::HboGtSd(l.acquire(node)),
+            AnyLock::Ticket(l) => AnyToken::Ticket(l.acquire(node)),
+            AnyLock::Hier(l) => AnyToken::Hier(l.acquire(node)),
+            AnyLock::Cna(l) => AnyToken::Cna(l.acquire(node)),
+            AnyLock::Twa(l) => AnyToken::Twa(l.acquire(node)),
+            AnyLock::Recip(l) => AnyToken::Recip(l.acquire(node)),
         }
     }
 
@@ -249,6 +281,11 @@ impl NucaLock for AnyLock {
             AnyLock::Hbo(l) => AnyToken::Hbo(l.try_acquire(node)?),
             AnyLock::HboGt(l) => AnyToken::HboGt(l.try_acquire(node)?),
             AnyLock::HboGtSd(l) => AnyToken::HboGtSd(l.try_acquire(node)?),
+            AnyLock::Ticket(l) => AnyToken::Ticket(l.try_acquire(node)?),
+            AnyLock::Hier(l) => AnyToken::Hier(l.try_acquire(node)?),
+            AnyLock::Cna(l) => AnyToken::Cna(l.try_acquire(node)?),
+            AnyLock::Twa(l) => AnyToken::Twa(l.try_acquire(node)?),
+            AnyLock::Recip(l) => AnyToken::Recip(l.try_acquire(node)?),
         })
     }
 
@@ -269,6 +306,11 @@ impl NucaLock for AnyLock {
             (AnyLock::Hbo(l), AnyToken::Hbo(t)) => l.release(t),
             (AnyLock::HboGt(l), AnyToken::HboGt(t)) => l.release(t),
             (AnyLock::HboGtSd(l), AnyToken::HboGtSd(t)) => l.release(t),
+            (AnyLock::Ticket(l), AnyToken::Ticket(t)) => l.release(t),
+            (AnyLock::Hier(l), AnyToken::Hier(t)) => l.release(t),
+            (AnyLock::Cna(l), AnyToken::Cna(t)) => l.release(t),
+            (AnyLock::Twa(l), AnyToken::Twa(t)) => l.release(t),
+            (AnyLock::Recip(l), AnyToken::Recip(t)) => l.release(t),
             (lock, token) => panic!(
                 "token {token:?} does not belong to a {} lock",
                 lock.kind()
@@ -288,7 +330,7 @@ mod tests {
 
     #[test]
     fn all_kinds_roundtrip() {
-        for kind in LockKind::ALL {
+        for &kind in LockCatalog::kinds() {
             let lock = kind.instantiate(2);
             assert_eq!(lock.kind(), kind);
             assert_eq!(lock.name(), kind.as_str());
@@ -305,7 +347,7 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for kind in LockKind::ALL {
+        for &kind in LockCatalog::kinds() {
             assert_eq!(kind.as_str().parse::<LockKind>().unwrap(), kind);
             assert_eq!(
                 kind.as_str().to_lowercase().parse::<LockKind>().unwrap(),
@@ -316,14 +358,23 @@ mod tests {
     }
 
     #[test]
-    fn classification_matches_paper() {
+    fn classification_matches_catalog() {
         assert!(LockKind::HboGtSd.is_nuca_aware());
         assert!(LockKind::Rh.is_nuca_aware());
+        assert!(LockKind::Cna.is_nuca_aware());
         assert!(!LockKind::Mcs.is_nuca_aware());
+        assert!(!LockKind::Twa.is_nuca_aware());
         assert!(LockKind::Mcs.is_queue_lock());
         assert!(LockKind::Clh.is_queue_lock());
+        assert!(LockKind::Twa.is_queue_lock());
         assert!(!LockKind::Hbo.is_queue_lock());
-        assert_eq!(LockKind::NUCA_AWARE.len(), 4);
+        assert!(!LockKind::Cna.is_queue_lock(), "CNA is hybrid, not queue");
+        assert!(LockKind::Twa.is_fifo());
+        assert!(!LockKind::Recip.is_fifo());
+        // The paper's NUCA-aware set is a strict subset of today's.
+        for kind in [LockKind::Rh, LockKind::Hbo, LockKind::HboGt, LockKind::HboGtSd] {
+            assert!(LockCatalog::nuca_aware().contains(&kind));
+        }
     }
 
     #[test]
@@ -337,7 +388,7 @@ mod tests {
 
     #[test]
     fn contention_every_kind() {
-        for kind in LockKind::ALL {
+        for &kind in LockCatalog::kinds() {
             let lock = AnyLock::shared(kind, 2);
             let counter = Arc::new(AtomicU64::new(0));
             std::thread::scope(|s| {

@@ -15,9 +15,15 @@
 //! | [`HboLock`] | HBO | node-id-in-lock-word + hierarchical backoff |
 //! | [`HboGtLock`] | HBO_GT | HBO + per-node global-traffic throttling |
 //! | [`HboGtSdLock`] | HBO_GT_SD | HBO_GT + node-centric starvation detection |
-//! | [`HierHboLock`] | — | the paper's "expand hierarchically" remark, realized |
+//! | [`HierHboLock`] | HIER | the paper's "expand hierarchically" remark, realized |
 //! | [`ReactiveLock`] | — | §3's reactive synchronization (Lim & Agarwal), as an extension |
-//! | [`TicketLock`] | — | FIFO ticket lock with proportional backoff, as an extension |
+//! | [`TicketLock`] | TICKET | FIFO ticket lock with proportional backoff, as an extension |
+//! | [`CnaLock`] | CNA | compact NUMA-aware MCS variant (Dice & Kogan 2019) |
+//! | [`TwaLock`] | TWA | ticket lock + hashed waiting array (Dice & Kogan 2019) |
+//! | [`RecipLock`] | RECIP | reciprocating lock, palindromic admission (Dice & Kogan 2025) |
+//!
+//! Every named kind is registered in the [`LockCatalog`], the single
+//! enumeration point for sweeps, CLIs and checkers.
 //!
 //! # The idea
 //!
@@ -79,6 +85,7 @@
 mod any;
 mod backoff;
 mod clh;
+mod cna;
 mod gt_ctx;
 mod hbo;
 mod hbo_gt;
@@ -89,13 +96,17 @@ mod lock;
 mod mcs;
 mod pad;
 mod reactive;
+mod recip;
+mod registry;
 mod rh;
 mod tatas;
 mod ticket;
+mod twa;
 
-pub use any::{AnyLock, AnyToken, LockKind};
+pub use any::{AnyLock, AnyToken, LockKind, ParseLockKindError};
 pub use backoff::{spin_cycles, Backoff, BackoffConfig, SpinWait};
 pub use clh::{ClhLock, ClhToken};
+pub use cna::{CnaLock, CnaToken};
 pub use gt_ctx::{GtContext, MAX_NODES};
 pub use hbo::{HboLock, HboToken};
 pub use hbo_gt::{HboGtLock, HboGtToken};
@@ -106,6 +117,9 @@ pub use lock::{NucaLock, NucaLockExt, NucaLockGuard, NucaMutex, NucaMutexGuard};
 pub use mcs::{McsLock, McsToken};
 pub use pad::CachePadded;
 pub use reactive::{ReactiveConfig, ReactiveLock, ReactiveToken};
+pub use recip::{RecipLock, RecipToken};
+pub use registry::{LockCatalog, LockFamily, LockInfo};
 pub use rh::{RhLock, RhToken};
 pub use tatas::{TatasExpLock, TatasLock, TatasToken};
 pub use ticket::{TicketLock, TicketToken};
+pub use twa::{TwaLock, TwaToken};

@@ -1,0 +1,291 @@
+//! Reciprocating locks (Dice & Kogan, arXiv:2501.02380).
+//!
+//! The entire lock is **one word** (`arrivals`): free, held-with-no-
+//! known-waiters, or the top of a LIFO *arrival stack* of waiters. The
+//! holder detaches the stack wholesale and serves it as an **admission
+//! segment** in reverse arrival order, each grantee inheriting the rest
+//! of the segment as its *continuation*; waiters arriving meanwhile pile
+//! onto a fresh stack that becomes the next segment. Consecutive
+//! segments therefore run in palindromic admission order (last-in
+//! first-out, then the reversal again), which bounds bypass: no waiter
+//! sits out more than two segments. Waiters spin on their own stack
+//! node — MCS-style local spinning — yet the lock itself needs neither a
+//! tail word nor queue-node handshakes on the uncontended path.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nuca_topology::NodeId;
+
+use crate::lock::NucaLock;
+use crate::pad::CachePadded;
+
+/// `arrivals` value: lock free.
+const FREE: usize = 0;
+/// `arrivals` value: held with an empty arrival stack. Doubles as the
+/// segment terminator in `next` chains (node pointers are ≥128-aligned,
+/// so 1 is never a node address).
+const HELD: usize = 1;
+
+#[repr(align(128))]
+struct RecipNode {
+    /// 0 while waiting; 1 once granted.
+    grant: AtomicUsize,
+    /// The `arrivals` value this node was pushed onto: [`HELD`] when the
+    /// node is the bottom of its segment, else the previous stack top.
+    /// After the grant this is exactly the grantee's continuation.
+    next: AtomicUsize,
+}
+
+impl RecipNode {
+    fn new() -> RecipNode {
+        RecipNode {
+            grant: AtomicUsize::new(0),
+            next: AtomicUsize::new(HELD),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread freelist. A node is recycled by its owner right after
+    /// the grant is observed and the continuation read — past that point
+    /// nothing references it (earlier segment members were already
+    /// served, and the granter never touches the node after the grant).
+    #[allow(clippy::vec_box)]
+    static RECIP_POOL: RefCell<Vec<Box<RecipNode>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn pool_take() -> Box<RecipNode> {
+    RECIP_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| Box::new(RecipNode::new()))
+}
+
+fn pool_put(node: Box<RecipNode>) {
+    RECIP_POOL.with(|p| p.borrow_mut().push(node));
+}
+
+/// Proof that a [`RecipLock`] is held. Carries the holder's continuation
+/// (the not-yet-served remainder of its admission segment).
+#[derive(Debug)]
+pub struct RecipToken {
+    /// [`HELD`] for an empty continuation, else the next segment node.
+    cont: usize,
+}
+
+// SAFETY: the continuation points at stack nodes owned by still-waiting
+// threads; they stay valid until granted, which only the token holder's
+// release can do. Sending the token transfers that granting right.
+unsafe impl Send for RecipToken {}
+
+/// The reciprocating lock.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{NucaLockExt, RecipLock};
+/// let lock = RecipLock::new();
+/// let g = lock.lock();
+/// drop(g);
+/// ```
+#[derive(Debug, Default)]
+pub struct RecipLock {
+    arrivals: CachePadded<AtomicUsize>,
+}
+
+impl RecipLock {
+    /// Creates a free lock.
+    pub fn new() -> RecipLock {
+        RecipLock {
+            arrivals: CachePadded::new(AtomicUsize::new(FREE)),
+        }
+    }
+}
+
+impl NucaLock for RecipLock {
+    type Token = RecipToken;
+
+    fn acquire(&self, _node: NodeId) -> RecipToken {
+        // Uncontended fast path: one CAS, no node.
+        if self
+            .arrivals
+            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return RecipToken { cont: HELD };
+        }
+        let n = Box::into_raw(pool_take());
+        // SAFETY: exclusively owned until the push CAS publishes it.
+        unsafe { (*n).grant.store(0, Ordering::Relaxed) };
+        loop {
+            let a = self.arrivals.load(Ordering::Relaxed);
+            if a == FREE {
+                if self
+                    .arrivals
+                    .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // SAFETY: never published; still exclusively ours.
+                    pool_put(unsafe { Box::from_raw(n) });
+                    return RecipToken { cont: HELD };
+                }
+                continue;
+            }
+            // Push onto the arrival stack; `next` remembers what we
+            // covered — [`HELD`] makes us the segment bottom.
+            // SAFETY: still exclusively ours until the CAS succeeds.
+            unsafe { (*n).next.store(a, Ordering::Relaxed) };
+            if self
+                .arrivals
+                .compare_exchange(a, n as usize, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // SAFETY: the node is published; its granter writes only `grant`.
+        let cont = unsafe {
+            let mut w = crate::backoff::SpinWait::new();
+            while (*n).grant.load(Ordering::Acquire) == 0 {
+                w.spin();
+            }
+            (*n).next.load(Ordering::Relaxed)
+        };
+        // SAFETY: granted and continuation read — nothing references the
+        // node anymore (see the pool's invariant note).
+        pool_put(unsafe { Box::from_raw(n) });
+        RecipToken { cont }
+    }
+
+    fn try_acquire(&self, _node: NodeId) -> Option<RecipToken> {
+        self.arrivals
+            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| RecipToken { cont: HELD })
+    }
+
+    fn release(&self, token: RecipToken) {
+        if token.cont != HELD {
+            // Serve the rest of our admission segment first: grant the
+            // next member; it inherits the remainder via its own `next`.
+            let c = token.cont as *mut RecipNode;
+            // SAFETY: a continuation node belongs to a waiter that cannot
+            // proceed (or recycle) before this grant.
+            unsafe { (*c).grant.store(1, Ordering::Release) };
+            return;
+        }
+        // Segment exhausted: detach the arrival stack accumulated during
+        // it. The swap leaves `arrivals` at HELD so late arrivals keep
+        // stacking for whoever we grant.
+        let mut a = self.arrivals.swap(HELD, Ordering::AcqRel);
+        loop {
+            if a != HELD {
+                // Grant the stack top; the chain below it (ending at the
+                // HELD terminator) is the new holder's continuation.
+                let top = a as *mut RecipNode;
+                // SAFETY: stack nodes belong to waiters parked until
+                // granted.
+                unsafe { (*top).grant.store(1, Ordering::Release) };
+                return;
+            }
+            // No waiters: release for real — unless someone pushed
+            // between the swap and this CAS, in which case serve them.
+            match self.arrivals.compare_exchange(
+                HELD,
+                FREE,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(_) => a = self.arrivals.swap(HELD, Ordering::AcqRel),
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RECIP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::NucaLockExt;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(RecipLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..20_000 {
+                        let g = lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        drop(g);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+    }
+
+    #[test]
+    fn try_acquire_only_when_free() {
+        let lock = RecipLock::new();
+        let t = lock.try_acquire(NodeId(0)).expect("free");
+        assert!(lock.try_acquire(NodeId(0)).is_none());
+        lock.release(t);
+        let t2 = lock.try_acquire(NodeId(1)).expect("released");
+        lock.release(t2);
+    }
+
+    #[test]
+    fn sequential_reacquire_stays_on_fast_path() {
+        let lock = RecipLock::new();
+        for _ in 0..10_000 {
+            let t = lock.acquire(NodeId(0));
+            lock.release(t);
+        }
+        assert_eq!(lock.arrivals.load(Ordering::Relaxed), FREE);
+    }
+
+    #[test]
+    fn token_moves_across_threads() {
+        let lock = Arc::new(RecipLock::new());
+        let t = lock.acquire(NodeId(0));
+        let l2 = Arc::clone(&lock);
+        std::thread::spawn(move || l2.release(t)).join().unwrap();
+        let t2 = lock.try_acquire(NodeId(0)).expect("released remotely");
+        lock.release(t2);
+    }
+
+    #[test]
+    fn segment_continuation_serves_every_waiter() {
+        // One holder, several stacked waiters: all must get in exactly
+        // once per iteration (exclusion plus no lost grants).
+        let lock = Arc::new(RecipLock::new());
+        let entries = Arc::new(AtomicU64::new(0));
+        let t = lock.acquire(NodeId(0));
+        std::thread::scope(|s| {
+            for _ in 0..5 {
+                let lock = Arc::clone(&lock);
+                let entries = Arc::clone(&entries);
+                s.spawn(move || {
+                    let g = lock.lock();
+                    entries.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                });
+            }
+            // Let the waiters stack up, then open the flood gate.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            lock.release(t);
+        });
+        assert_eq!(entries.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,251 @@
+//! TWA — a ticket lock augmented with a waiting array (Dice & Kogan,
+//! ICPP 2019; arXiv:1810.01573).
+//!
+//! The classic ticket lock's weakness is the handover storm: every
+//! release invalidates *every* waiter, because they all spin on
+//! `now_serving`. TWA keeps the ticket lock's tiny footprint and FIFO
+//! order but moves all **long-term** waiters (distance > 1) off to a
+//! process-global hashed waiting array: each spins on the array slot its
+//! ticket hashes to. A release advances `now_serving` (waking only the
+//! immediate successor, which spins there short-term) and then bumps the
+//! slot of the ticket that just became distance-1, promoting exactly one
+//! long-term waiter to short-term spinning. Hash collisions cause
+//! spurious wakeups — waiters re-check their distance — never missed
+//! ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nuca_topology::NodeId;
+
+use crate::lock::NucaLock;
+use crate::pad::CachePadded;
+
+/// Size of the process-global waiting array (a power of two). The
+/// published design shares one array across all TWA locks; collisions
+/// between locks are benign for the same reason collisions between
+/// tickets are.
+const WA_SIZE: usize = 4096;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const WA_ZERO: AtomicUsize = AtomicUsize::new(0);
+static WAITING_ARRAY: [AtomicUsize; WA_SIZE] = [WA_ZERO; WA_SIZE];
+
+/// Waiters at distance ≤ this spin on `now_serving` directly; everyone
+/// further back parks on the waiting array. The paper's threshold: 1.
+const LONG_TERM: usize = 1;
+
+/// Proof that a [`TwaLock`] is held.
+#[derive(Debug)]
+pub struct TwaToken {
+    ticket: usize,
+}
+
+/// The ticket lock with a waiting array.
+///
+/// # Example
+///
+/// ```
+/// use hbo_locks::{NucaLockExt, TwaLock};
+/// let lock = TwaLock::new();
+/// let g = lock.lock();
+/// drop(g);
+/// ```
+#[derive(Debug, Default)]
+pub struct TwaLock {
+    next_ticket: CachePadded<AtomicUsize>,
+    now_serving: CachePadded<AtomicUsize>,
+}
+
+impl TwaLock {
+    /// Creates a free lock.
+    pub fn new() -> TwaLock {
+        TwaLock {
+            next_ticket: CachePadded::new(AtomicUsize::new(0)),
+            now_serving: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The waiting-array slot for `ticket` of *this* lock instance
+    /// (Fibonacci hash over the lock address and the ticket).
+    fn slot(&self, ticket: usize) -> &'static AtomicUsize {
+        let addr = self as *const TwaLock as u64 >> 7;
+        let h = addr
+            .wrapping_add(ticket as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &WAITING_ARRAY[(h >> (64 - 12)) as usize & (WA_SIZE - 1)]
+    }
+
+    /// Number of threads currently waiting or holding (0 = free).
+    pub fn queue_depth(&self) -> usize {
+        self.next_ticket
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.now_serving.load(Ordering::Relaxed))
+    }
+}
+
+impl NucaLock for TwaLock {
+    type Token = TwaToken;
+
+    fn acquire(&self, _node: NodeId) -> TwaToken {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let serving = self.now_serving.load(Ordering::Acquire);
+            let distance = ticket.wrapping_sub(serving);
+            if distance == 0 {
+                return TwaToken { ticket };
+            }
+            if distance > LONG_TERM {
+                // Long-term: park on the waiting array. Read the slot
+                // *then* re-check the distance — the promoting bump may
+                // already have fired, and this order guarantees we either
+                // see it in the slot or in `now_serving`.
+                let slot = self.slot(ticket);
+                let seen = slot.load(Ordering::Acquire);
+                let serving = self.now_serving.load(Ordering::Acquire);
+                if ticket.wrapping_sub(serving) <= LONG_TERM {
+                    continue;
+                }
+                let mut w = crate::backoff::SpinWait::new();
+                while slot.load(Ordering::Acquire) == seen {
+                    w.spin();
+                }
+            } else {
+                // Short-term: we are next; spin on `now_serving` itself.
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn try_acquire(&self, _node: NodeId) -> Option<TwaToken> {
+        let serving = self.now_serving.load(Ordering::Acquire);
+        match self.next_ticket.compare_exchange(
+            serving,
+            serving.wrapping_add(1),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Some(TwaToken { ticket: serving }),
+            Err(_) => None,
+        }
+    }
+
+    fn release(&self, token: TwaToken) {
+        let next = token.ticket.wrapping_add(1);
+        self.now_serving.store(next, Ordering::Release);
+        // Promote the waiter that just became distance-LONG_TERM from
+        // long-term (array) to short-term (`now_serving`) spinning. If no
+        // such ticket has been issued the bump hits an empty slot — or a
+        // colliding one, which merely wakes someone early.
+        self.slot(next.wrapping_add(LONG_TERM))
+            .fetch_add(1, Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "TWA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::NucaLockExt;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion_deep_queue() {
+        // 6 threads so several waiters sit in long-term (array) waiting.
+        let lock = Arc::new(TwaLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let g = lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        drop(g);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 60_000);
+    }
+
+    #[test]
+    fn try_acquire_semantics() {
+        let lock = TwaLock::new();
+        let t = lock.try_acquire(NodeId(0)).expect("free");
+        assert!(lock.try_acquire(NodeId(0)).is_none());
+        assert_eq!(lock.queue_depth(), 1);
+        lock.release(t);
+        assert_eq!(lock.queue_depth(), 0);
+        let t2 = lock.try_acquire(NodeId(1)).expect("released");
+        lock.release(t2);
+    }
+
+    #[test]
+    fn fifo_order_two_waiters() {
+        let lock = Arc::new(TwaLock::new());
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let t = lock.acquire(NodeId(0));
+        std::thread::scope(|s| {
+            for i in 0..2 {
+                let lock = Arc::clone(&lock);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let g = lock.lock();
+                    order.lock().unwrap().push(i);
+                    drop(g);
+                });
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            lock.release(t);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn wraparound_is_safe() {
+        let lock = TwaLock::new();
+        lock.next_ticket.store(usize::MAX - 1, Ordering::Relaxed);
+        lock.now_serving.store(usize::MAX - 1, Ordering::Relaxed);
+        for _ in 0..5 {
+            let t = lock.acquire(NodeId(0));
+            lock.release(t);
+        }
+        assert_eq!(lock.queue_depth(), 0);
+    }
+
+    #[test]
+    fn two_locks_share_the_array_without_interference() {
+        let a = Arc::new(TwaLock::new());
+        let b = Arc::new(TwaLock::new());
+        // One counter per lock: holders of different locks run
+        // concurrently, so a counter shared across both would race.
+        let counter_a = Arc::new(AtomicU64::new(0));
+        let counter_b = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let (lock, counter) = if i % 2 == 0 {
+                    (Arc::clone(&a), Arc::clone(&counter_a))
+                } else {
+                    (Arc::clone(&b), Arc::clone(&counter_b))
+                };
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let g = lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        drop(g);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter_a.load(Ordering::Relaxed), 20_000);
+        assert_eq!(counter_b.load(Ordering::Relaxed), 20_000);
+    }
+}

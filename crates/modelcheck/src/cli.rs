@@ -54,9 +54,9 @@ pub fn parse_subjects(value: Option<&str>) -> Result<Vec<Subject>, String> {
         return Err("--kind requires a lock name or `all`".to_owned());
     };
     if raw.eq_ignore_ascii_case("all") {
-        return Ok(Subject::VERIFIED.to_vec());
+        return Ok(Subject::verified().to_vec());
     }
-    let all = Subject::VERIFIED.iter().chain(Subject::MUTANTS.iter());
+    let all = Subject::verified().iter().chain(Subject::MUTANTS.iter());
     for &subject in all {
         if raw.eq_ignore_ascii_case(subject.name()) {
             return Ok(vec![subject]);
@@ -66,7 +66,7 @@ pub fn parse_subjects(value: Option<&str>) -> Result<Vec<Subject>, String> {
     if let Ok(kind) = raw.parse::<LockKind>() {
         return Ok(vec![Subject::Kind(kind)]);
     }
-    let names: Vec<&str> = Subject::VERIFIED
+    let names: Vec<&str> = Subject::verified()
         .iter()
         .chain(Subject::MUTANTS.iter())
         .map(|s| s.name())
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn kind_all_is_every_verified_subject() {
         let subjects = parse_subjects(Some("all")).unwrap();
-        assert_eq!(subjects, Subject::VERIFIED.to_vec());
+        assert_eq!(subjects, Subject::verified().to_vec());
         assert!(!subjects.contains(&Subject::RacyTatas));
     }
 
@@ -119,7 +119,14 @@ mod tests {
             parse_subjects(Some("hbo_gt_sd")).unwrap(),
             vec![Subject::Kind(hbo_locks::LockKind::HboGtSd)]
         );
-        assert_eq!(parse_subjects(Some("ticket")).unwrap(), vec![Subject::Ticket]);
+        assert_eq!(
+            parse_subjects(Some("ticket")).unwrap(),
+            vec![Subject::Kind(hbo_locks::LockKind::Ticket)]
+        );
+        assert_eq!(
+            parse_subjects(Some("cna")).unwrap(),
+            vec![Subject::Kind(hbo_locks::LockKind::Cna)]
+        );
         assert_eq!(
             parse_subjects(Some("racy_tatas")).unwrap(),
             vec![Subject::RacyTatas]
@@ -127,6 +134,10 @@ mod tests {
         assert_eq!(
             parse_subjects(Some("LEAKY_HBO_GT")).unwrap(),
             vec![Subject::LeakyHboGt]
+        );
+        assert_eq!(
+            parse_subjects(Some("splice_lost_cna")).unwrap(),
+            vec![Subject::SpliceLostCna]
         );
     }
 

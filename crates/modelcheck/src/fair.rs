@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn all_verified_subjects_terminate_fairly() {
-        for subject in Subject::VERIFIED {
+        for &subject in Subject::verified() {
             let cfg = CheckConfig::new(subject);
             let report = check_fair(&cfg)
                 .unwrap_or_else(|cex| panic!("{}: {} ({:?})", subject.name(), cex.violation, cex.schedule));

@@ -51,51 +51,53 @@ pub use fair::{check_fair, FairReport};
 pub use random::{check_random, RandomOutcome};
 pub use world::{Status, World};
 
-/// What the checker is checking: one of the paper's eight registered
-/// algorithms, a library-extension lock, or a deliberately broken mutant
-/// from [`nucasim_locks::mutants`] (used to validate the checker itself).
+/// What the checker is checking: a registered algorithm from the
+/// [`hbo_locks::LockCatalog`], or a deliberately broken mutant from
+/// [`nucasim_locks::mutants`] (used to validate the checker itself).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Subject {
-    /// One of the eight [`LockKind`] algorithms.
+    /// A registered [`LockKind`] algorithm (every catalog entry has a
+    /// simulator state machine, so every one is checkable).
     Kind(LockKind),
-    /// The ticket-lock extension ([`nucasim_locks::SimTicket`]).
-    Ticket,
-    /// The hierarchical HBO extension ([`nucasim_locks::SimHierHbo`]).
-    Hier,
     /// Mutant: TATAS with the test-and-set race reintroduced.
     RacyTatas,
     /// Mutant: HBO_GT that never clears its `is_spinning` slot on a
     /// successful remote acquire.
     LeakyHboGt,
+    /// Mutant: CNA whose splice path drops the link from the secondary
+    /// queue back to the main queue.
+    SpliceLostCna,
 }
 
 impl Subject {
-    /// The subjects `--kind all` verifies: the eight registered kinds plus
-    /// the two extensions. Mutants are excluded — they exist to *fail*.
-    pub const VERIFIED: [Subject; 10] = [
-        Subject::Kind(LockKind::Tatas),
-        Subject::Kind(LockKind::TatasExp),
-        Subject::Kind(LockKind::Mcs),
-        Subject::Kind(LockKind::Clh),
-        Subject::Kind(LockKind::Rh),
-        Subject::Kind(LockKind::Hbo),
-        Subject::Kind(LockKind::HboGt),
-        Subject::Kind(LockKind::HboGtSd),
-        Subject::Ticket,
-        Subject::Hier,
+    /// The three seeded mutants, which the checker must catch.
+    pub const MUTANTS: [Subject; 3] = [
+        Subject::RacyTatas,
+        Subject::LeakyHboGt,
+        Subject::SpliceLostCna,
     ];
 
-    /// The two seeded mutants, which the checker must catch.
-    pub const MUTANTS: [Subject; 2] = [Subject::RacyTatas, Subject::LeakyHboGt];
+    /// The subjects `--kind all` verifies: every kind registered in the
+    /// [`hbo_locks::LockCatalog`], in registration order. Derived, not
+    /// listed — registering a lock automatically extends the checker's
+    /// coverage. Mutants are excluded — they exist to *fail*.
+    pub fn verified() -> &'static [Subject] {
+        static VERIFIED: std::sync::OnceLock<Vec<Subject>> = std::sync::OnceLock::new();
+        VERIFIED.get_or_init(|| {
+            hbo_locks::LockCatalog::kinds()
+                .iter()
+                .map(|&k| Subject::Kind(k))
+                .collect()
+        })
+    }
 
     /// Canonical (CLI) name.
     pub fn name(self) -> &'static str {
         match self {
             Subject::Kind(k) => k.as_str(),
-            Subject::Ticket => "TICKET",
-            Subject::Hier => "HIER",
             Subject::RacyTatas => "RACY_TATAS",
             Subject::LeakyHboGt => "LEAKY_HBO_GT",
+            Subject::SpliceLostCna => "SPLICE_LOST_CNA",
         }
     }
 }
@@ -259,7 +261,7 @@ mod tests {
 
     #[test]
     fn subject_names_are_unique() {
-        let mut names: Vec<&str> = Subject::VERIFIED
+        let mut names: Vec<&str> = Subject::verified()
             .iter()
             .chain(Subject::MUTANTS.iter())
             .map(|s| s.name())
@@ -268,6 +270,23 @@ mod tests {
         let n = names.len();
         names.dedup();
         assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn verified_covers_the_whole_catalog() {
+        // Registering a lock kind must automatically put it under the
+        // checker's `--kind all` umbrella.
+        assert!(Subject::verified().len() >= 13);
+        assert_eq!(
+            Subject::verified().len(),
+            hbo_locks::LockCatalog::kinds().len()
+        );
+        for (s, &k) in Subject::verified()
+            .iter()
+            .zip(hbo_locks::LockCatalog::kinds())
+        {
+            assert_eq!(*s, Subject::Kind(k));
+        }
     }
 
     #[test]

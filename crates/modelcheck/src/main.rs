@@ -29,7 +29,7 @@ fn usage_error(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut subjects: Vec<Subject> = Subject::VERIFIED.to_vec();
+    let mut subjects: Vec<Subject> = Subject::verified().to_vec();
     let mut cpus = 2usize;
     let mut iters = 2u32;
     let mut depth = 100_000usize;
@@ -76,7 +76,7 @@ fn main() -> ExitCode {
                 None => return usage_error("--bench-json requires a file path"),
             },
             "--list" => {
-                let verified: Vec<&str> = Subject::VERIFIED.iter().map(|s| s.name()).collect();
+                let verified: Vec<&str> = Subject::verified().iter().map(|s| s.name()).collect();
                 let mutants: Vec<&str> = Subject::MUTANTS.iter().map(|s| s.name()).collect();
                 println!("verified subjects: {}", verified.join(", "));
                 println!("mutants (must fail): {}", mutants.join(", "));

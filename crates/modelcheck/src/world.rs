@@ -17,25 +17,26 @@
 
 use std::sync::Arc;
 
-use hbo_locks::{BackoffConfig, LevelBackoff};
+use hbo_locks::BackoffConfig;
 use nuca_topology::{CpuId, NodeId};
 use nucasim::{Addr, Command, CpuCtx, EventLog, Machine, MachineConfig, SimStats};
-use nucasim_locks::{
-    build_lock, mutants, GtSlots, LockSession, SimHierHbo, SimLock, SimLockParams, SimTicket, Step,
-};
+use nucasim_locks::{build_lock, mutants, GtSlots, LockSession, SimLock, SimLockParams, Step};
 
 use crate::{CheckConfig, Subject, Violation};
 
 /// Lock tunables used for checking: minimal backoffs (delays are no-ops
 /// here, but their counters are session state), a tiny anger threshold so
-/// HBO_GT_SD's starvation machinery is actually reachable, and a tiny RH
-/// handover budget so both release tags are exercised.
+/// HBO_GT_SD's starvation machinery is actually reachable, a tiny RH
+/// handover budget so both release tags are exercised, and a tiny CNA
+/// splice threshold so the secondary-queue splice path is reachable at
+/// checker scale.
 pub fn checker_params() -> SimLockParams {
     SimLockParams {
         local: BackoffConfig::new(1, 2, 2),
         remote: BackoffConfig::new(1, 2, 2),
         get_angry_limit: 2,
         rh_max_handovers: 2,
+        cna_splice_threshold: 2,
     }
 }
 
@@ -119,13 +120,6 @@ impl World {
         let home = NodeId(0);
         let lock: Box<dyn SimLock> = match cfg.subject {
             Subject::Kind(k) => build_lock(k, machine.mem_mut(), &topo, &gt, home, &params),
-            Subject::Ticket => Box::new(SimTicket::alloc(machine.mem_mut(), home)),
-            Subject::Hier => Box::new(SimHierHbo::alloc(
-                machine.mem_mut(),
-                Arc::clone(&topo),
-                home,
-                LevelBackoff::geometric(3, 1, 2, 2),
-            )),
             Subject::RacyTatas => Box::new(mutants::RacyTatas::alloc(machine.mem_mut(), home)),
             Subject::LeakyHboGt => Box::new(mutants::LeakyHboGt::alloc(
                 machine.mem_mut(),
@@ -133,6 +127,12 @@ impl World {
                 gt.clone(),
                 params.local,
                 params.remote,
+            )),
+            Subject::SpliceLostCna => Box::new(mutants::SpliceLostCna::alloc(
+                machine.mem_mut(),
+                &topo,
+                home,
+                params.cna_splice_threshold,
             )),
         };
         // Snapshot the allocator's memory image into the flat store (lock
@@ -462,7 +462,7 @@ mod tests {
 
     #[test]
     fn serial_schedule_completes_every_kind() {
-        for subject in Subject::VERIFIED {
+        for &subject in Subject::verified() {
             let cfg = cfg(subject);
             let mut w = World::new(&cfg);
             let mut steps = 0u64;

@@ -1,13 +1,13 @@
-//! End-to-end checks for the model checker: every verified lock passes
-//! exhaustively, both seeded mutants are provably caught with stable
-//! shrunk counterexamples, and random mode is byte-reproducible.
+//! End-to-end checks for the model checker: every catalog-registered lock
+//! passes exhaustively, all three seeded mutants are provably caught, and
+//! random mode is byte-reproducible.
 
 use nuca_modelcheck::dfs::replay_violation;
 use nuca_modelcheck::{check, check_random, CheckConfig, Subject, Violation};
 
 #[test]
 fn every_verified_subject_passes_exhaustively_at_two_cpus() {
-    for subject in Subject::VERIFIED {
+    for &subject in Subject::verified() {
         let cfg = CheckConfig::new(subject);
         let report = check(&cfg);
         assert!(
@@ -66,8 +66,39 @@ fn leaky_hbo_gt_mutant_is_caught_with_a_stable_witness() {
 }
 
 #[test]
-fn exhaustive_and_random_agree_on_the_mutants() {
-    for subject in Subject::MUTANTS {
+fn splice_lost_cna_mutant_is_caught_at_three_cpus() {
+    // The splice bug needs a secondary queue to exist at splice time,
+    // which takes two same-node contenders plus a remote one — it is
+    // *unreachable* at two CPUs (one per node), so the CNA mutant is
+    // checked one notch up. The lost link orphans the main queue: the
+    // search surfaces it as a deadlock.
+    let mut cfg = CheckConfig::new(Subject::SpliceLostCna);
+    cfg.cpus = 3;
+    let report = check(&cfg);
+    let cex = report.counterexample.expect("mutant must be caught");
+    assert!(
+        matches!(cex.violation, Violation::Deadlock | Violation::Unfair { .. }),
+        "{}",
+        cex.violation
+    );
+    let (v, used) = replay_violation(&cfg, &cex.schedule).expect("replayable");
+    assert_eq!(v.kind_str(), cex.violation.kind_str());
+    assert_eq!(used, cex.schedule);
+}
+
+#[test]
+fn splice_lost_cna_passes_vacuously_where_the_bug_is_unreachable() {
+    // Documents the reachability boundary: at two CPUs there is never a
+    // secondary queue, so the mutant is indistinguishable from real CNA —
+    // which is why CI checks it at three CPUs.
+    let report = check(&CheckConfig::new(Subject::SpliceLostCna));
+    assert!(report.passed());
+}
+
+#[test]
+fn exhaustive_and_random_agree_on_the_two_cpu_mutants() {
+    // SpliceLostCna is excluded: its bug needs 3 CPUs (see above).
+    for subject in [Subject::RacyTatas, Subject::LeakyHboGt] {
         let cfg = CheckConfig::new(subject);
         let out = check_random(&cfg, 256, 0xD1CE);
         assert!(
@@ -94,7 +125,10 @@ fn random_mode_is_reproducible_per_seed() {
 #[test]
 fn three_cpus_stays_exhaustive_for_the_flat_locks() {
     // A spot check that the state space stays tractable one notch up.
-    for subject in [Subject::Kind(hbo_locks::LockKind::Tatas), Subject::Ticket] {
+    for subject in [
+        Subject::Kind(hbo_locks::LockKind::Tatas),
+        Subject::Kind(hbo_locks::LockKind::Ticket),
+    ] {
         let mut cfg = CheckConfig::new(subject);
         cfg.cpus = 3;
         let report = check(&cfg);

@@ -67,6 +67,10 @@ pub struct LockProfile {
     pub chains: u64,
     /// Acquisitions per node (index = node id; grown on demand).
     pub node_acquires: Vec<u64>,
+    /// Acquisitions per CPU (index = cpu id; grown on demand). A zero for
+    /// a contending CPU is the starvation tell: a lock can post a perfect
+    /// remote-handoff rate simply by never granting some CPUs at all.
+    pub cpu_acquires: Vec<u64>,
     /// Node-residency run lengths: each sample is how many consecutive
     /// acquisitions stayed on one node before the lock migrated. Longer
     /// runs mean better handoff locality.
@@ -164,6 +168,16 @@ impl LockProfile {
             .expect("phases is non-empty")
     }
 
+    /// How many of the `cpus` contending CPUs never acquired at all —
+    /// the starved-CPU count the `handoff` artifact prints next to the
+    /// remote-handoff rate, so a "0.00 remote rate" earned by starving
+    /// whole CPUs is visibly different from one earned by locality.
+    pub fn starved_cpus(&self, cpus: usize) -> usize {
+        (0..cpus)
+            .filter(|&c| self.cpu_acquires.get(c).copied().unwrap_or(0) == 0)
+            .count()
+    }
+
     /// Mean hold time in cycles, or `None` before any release.
     pub fn mean_hold(&self) -> Option<f64> {
         if self.holds == 0 {
@@ -189,6 +203,12 @@ impl LockProfile {
         for (a, b) in self.node_acquires.iter_mut().zip(&other.node_acquires) {
             *a += b;
         }
+        if self.cpu_acquires.len() < other.cpu_acquires.len() {
+            self.cpu_acquires.resize(other.cpu_acquires.len(), 0);
+        }
+        for (a, b) in self.cpu_acquires.iter_mut().zip(&other.cpu_acquires) {
+            *a += b;
+        }
         self.residency_runs.merge(&other.residency_runs);
         self.wait.merge(&other.wait);
         self.spin_cycles += other.spin_cycles;
@@ -201,12 +221,16 @@ impl LockProfile {
         self.hold_cycles += other.hold_cycles;
     }
 
-    fn on_acquire(&mut self, node: NodeId) {
+    fn on_acquire(&mut self, cpu: usize, node: NodeId) {
         self.acquires += 1;
         if self.node_acquires.len() <= node.index() {
             self.node_acquires.resize(node.index() + 1, 0);
         }
         self.node_acquires[node.index()] += 1;
+        if self.cpu_acquires.len() <= cpu {
+            self.cpu_acquires.resize(cpu + 1, 0);
+        }
+        self.cpu_acquires[cpu] += 1;
         match self.cur_node {
             Some(prev) if prev == node.index() => {
                 self.local_handoffs += 1;
@@ -278,7 +302,10 @@ impl Profile {
         let per_lock: usize = self
             .locks
             .iter()
-            .map(|l| std::mem::size_of::<LockProfile>() + l.node_acquires.len() * 8)
+            .map(|l| {
+                std::mem::size_of::<LockProfile>()
+                    + (l.node_acquires.len() + l.cpu_acquires.len()) * 8
+            })
             .sum();
         std::mem::size_of::<Profile>() + per_lock
     }
@@ -378,7 +405,7 @@ impl ProfCore {
                 };
                 state.held.push((lock, at));
                 let lp = self.lock(lock);
-                lp.on_acquire(node);
+                lp.on_acquire(cpu.index(), node);
                 if let Some(w) = window {
                     let wait = at - w.start;
                     let backoff = w.backoff_local + w.backoff_remote;
@@ -575,6 +602,10 @@ mod tests {
         assert_eq!(lock.remote_handoff_rate(), Some(2.0 / 5.0));
         assert_eq!(lock.handoff_locality(), Some(1.0 - 2.0 / 5.0));
         assert_eq!(lock.node_acquires, vec![3, 3]);
+        // The two acquiring CPUs were 0 and 2; CPUs 1 and 3 never won.
+        assert_eq!(lock.cpu_acquires, vec![3, 0, 3]);
+        assert_eq!(lock.starved_cpus(4), 2);
+        assert_eq!(lock.starved_cpus(2), 1);
         // Runs 2, 3 and the flushed tail run 1.
         assert_eq!(lock.residency_runs.count(), 3);
         assert_eq!(lock.residency_runs.sum(), 6);

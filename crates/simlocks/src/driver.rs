@@ -202,7 +202,7 @@ mod tests {
 
     #[test]
     fn start_acquire_yields_command() {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let mut d = driver(kind);
             let mut stats = SimStats::default();
             let mut ctx = CpuCtx::new(CpuId(0), NodeId(0), 0, &mut stats);

@@ -65,9 +65,7 @@ impl SimLock for SimHierHbo {
     }
 
     fn kind(&self) -> hbo_locks::LockKind {
-        // Reported as HBO for statistics grouping; the algorithm is the
-        // hierarchical generalization.
-        hbo_locks::LockKind::Hbo
+        hbo_locks::LockKind::Hier
     }
 
     fn lock_word(&self) -> Option<Addr> {
@@ -198,7 +196,7 @@ mod tests {
             LevelBackoff::geometric(3, 100, 800, 4),
         );
         let _s = lock.session(CpuId(5), NodeId(0));
-        assert_eq!(lock.kind(), hbo_locks::LockKind::Hbo);
+        assert_eq!(lock.kind(), hbo_locks::LockKind::Hier);
     }
 
     #[test]

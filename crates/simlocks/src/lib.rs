@@ -1,9 +1,11 @@
 //! Lock-algorithm state machines for the `nucasim` NUCA simulator.
 //!
-//! Each of the paper's eight algorithms (TATAS, TATAS_EXP, MCS, CLH, RH,
-//! HBO, HBO_GT, HBO_GT_SD) is expressed here as a resumable state machine
-//! over simulated memory, issuing exactly the memory-operation sequences of
-//! the published pseudocode (Figures 1 and 2 of the paper for the HBO
+//! Every algorithm in the [`hbo_locks::LockCatalog`] — the paper's eight
+//! (TATAS, TATAS_EXP, MCS, CLH, RH, HBO, HBO_GT, HBO_GT_SD), the TICKET
+//! and HIER extensions, and the modern NUMA-aware generation (CNA, TWA,
+//! RECIP) — is expressed here as a resumable state machine over simulated
+//! memory, issuing exactly the memory-operation sequences of the
+//! published pseudocode (Figures 1 and 2 of the paper for the HBO
 //! family). Workload programs drive a [`LockSession`] per CPU.
 //!
 //! The split from `hbo-locks` is deliberate: that crate is the *real*
@@ -42,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod clh;
+mod cna;
 mod driver;
 mod hbo;
 mod hbo_gt;
@@ -49,9 +52,11 @@ mod hbo_gt_sd;
 mod hier;
 mod mcs;
 pub mod mutants;
+mod recip;
 mod rh;
 mod tatas;
 mod ticket;
+mod twa;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -64,15 +69,18 @@ use nuca_topology::{CpuId, NodeId, Topology};
 use nucasim::{Addr, Command, CpuCtx, MemorySystem};
 
 pub use clh::SimClh;
+pub use cna::SimCna;
 pub use driver::{DriveResult, SessionDriver};
 pub use hbo::SimHbo;
 pub use hbo_gt::SimHboGt;
 pub use hbo_gt_sd::SimHboGtSd;
 pub use hier::SimHierHbo;
 pub use mcs::SimMcs;
+pub use recip::SimRecip;
 pub use rh::SimRh;
 pub use tatas::{SimTatas, SimTatasExp};
 pub use ticket::SimTicket;
+pub use twa::SimTwa;
 
 /// One step of a lock session: either a memory/delay command to execute,
 /// or completion of the current phase.
@@ -177,6 +185,9 @@ pub struct SimLockParams {
     /// RH consecutive local handovers before the releaser publishes the
     /// lock globally.
     pub rh_max_handovers: u64,
+    /// CNA consecutive local handoffs before the releaser splices the
+    /// secondary (remote) queue back ahead of the main queue.
+    pub cna_splice_threshold: u32,
 }
 
 impl Default for SimLockParams {
@@ -186,6 +197,7 @@ impl Default for SimLockParams {
             remote: BackoffConfig::new(1_600, 2, 51_200),
             get_angry_limit: 16,
             rh_max_handovers: 64,
+            cna_splice_threshold: 64,
         }
     }
 }
@@ -203,6 +215,14 @@ impl SimLockParams {
     #[must_use]
     pub fn with_get_angry_limit(mut self, limit: u32) -> SimLockParams {
         self.get_angry_limit = limit;
+        self
+    }
+
+    /// Returns the params with a different CNA splice threshold
+    /// (clamped to ≥ 1 at allocation).
+    #[must_use]
+    pub fn with_cna_splice_threshold(mut self, threshold: u32) -> SimLockParams {
+        self.cna_splice_threshold = threshold;
         self
     }
 }
@@ -247,7 +267,37 @@ pub fn build_lock(
             params.remote,
             params.get_angry_limit,
         )),
+        LockKind::Ticket => Box::new(SimTicket::alloc(mem, home)),
+        LockKind::Hier => Box::new(SimHierHbo::alloc(
+            mem,
+            Arc::new(topo.clone()),
+            home,
+            hier_levels(topo, params),
+        )),
+        LockKind::Cna => Box::new(SimCna::alloc(
+            mem,
+            topo,
+            home,
+            params.cna_splice_threshold,
+        )),
+        LockKind::Twa => Box::new(SimTwa::alloc(mem, topo, home)),
+        LockKind::Recip => Box::new(SimRecip::alloc(mem, topo, home)),
     }
+}
+
+/// Per-distance backoff ladder for the hierarchical lock: distances 0
+/// and 1 (same processor / same node) use the local config, distance 2
+/// the remote config, and each extra topology level doubles from there —
+/// so on two-level machines HIER degenerates to HBO's two-tier scheme,
+/// as the paper's "expand hierarchically" remark intends.
+fn hier_levels(topo: &Topology, params: &SimLockParams) -> hbo_locks::LevelBackoff {
+    let mut cfgs = vec![params.local, params.local, params.remote];
+    let mut b = params.remote;
+    for _ in 0..topo.extra_levels() {
+        b = BackoffConfig::new(b.base.saturating_mul(2), b.factor, b.cap.saturating_mul(2));
+        cfgs.push(b);
+    }
+    hbo_locks::LevelBackoff::new(cfgs)
 }
 
 /// Simulated-cycle exponential backoff helper shared by the state
@@ -305,7 +355,7 @@ mod tests {
         let mut m = nucasim::Machine::new(MachineConfig::wildfire(2, 2));
         let topo = Arc::clone(m.topology());
         let gt = GtSlots::alloc(m.mem_mut(), &topo);
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let lock = build_lock(
                 kind,
                 m.mem_mut(),

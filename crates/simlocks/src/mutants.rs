@@ -10,9 +10,10 @@
 //! Never use these outside tests and checker validation.
 
 use hbo_locks::{BackoffConfig, LockKind};
-use nuca_topology::{CpuId, NodeId};
+use nuca_topology::{CpuId, NodeId, Topology};
 use nucasim::{Addr, BackoffClass, Command, CpuCtx, MemorySystem};
 
+use crate::cna::SimCna;
 use crate::hbo::{tag, FREE};
 use crate::hbo_gt::DUMMY;
 use crate::{GtSlots, LockSession, SimBackoff, SimLock, Step};
@@ -324,6 +325,43 @@ impl LockSession for LeakySession {
     }
 }
 
+/// CNA whose splice path loses the main queue: when the releaser splices
+/// the secondary (remote) queue back in, it grants the secondary head
+/// **without** first linking the main-queue successor behind the
+/// secondary tail. The orphaned main-queue waiters spin forever and the
+/// spliced chain's last node deadlocks in its release (`tail` no longer
+/// names it, and the link it waits for never arrives). Needs ≥ 3 CPUs on
+/// ≥ 2 nodes to manifest — a secondary queue must exist at splice time.
+#[derive(Debug)]
+pub struct SpliceLostCna {
+    inner: SimCna,
+}
+
+impl SpliceLostCna {
+    /// Allocates the broken lock; same layout as the real CNA.
+    pub fn alloc(
+        mem: &mut MemorySystem,
+        topo: &Topology,
+        home: NodeId,
+        splice_threshold: u32,
+    ) -> SpliceLostCna {
+        SpliceLostCna {
+            inner: SimCna::alloc_with_lost_splice_link(mem, topo, home, splice_threshold),
+        }
+    }
+}
+
+impl SimLock for SpliceLostCna {
+    fn session(&self, cpu: CpuId, node: NodeId) -> Box<dyn LockSession> {
+        self.inner.session(cpu, node)
+    }
+
+    fn kind(&self) -> LockKind {
+        // Reported as CNA: it is CNA minus one splice-path store.
+        LockKind::Cna
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +389,9 @@ mod tests {
         assert!(matches!(s2.start_acquire(&mut ctx), Step::Op(_)));
         assert!(racy.lock_word().is_some());
         assert_eq!(leaky.kind(), LockKind::HboGt);
+        let lossy = SpliceLostCna::alloc(m.mem_mut(), &topo, NodeId(0), 2);
+        let mut s3 = lossy.session(CpuId(1), NodeId(0));
+        assert!(matches!(s3.start_acquire(&mut ctx), Step::Op(_)));
+        assert_eq!(lossy.kind(), LockKind::Cna);
     }
 }

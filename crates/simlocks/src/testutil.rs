@@ -355,7 +355,7 @@ mod fault_contract {
     }
 
     fn contract_under(name: &str, faults: FaultConfig) {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let cfg = MachineConfig::wildfire(2, 2).with_faults(faults);
             let report = exclusion_test_with(kind, cfg, 30);
             // The disturbance must actually have happened where observable.

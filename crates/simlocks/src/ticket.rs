@@ -42,8 +42,7 @@ impl SimLock for SimTicket {
     }
 
     fn kind(&self) -> LockKind {
-        // Grouped with the FIFO locks for reporting purposes.
-        LockKind::Mcs
+        LockKind::Ticket
     }
 }
 

@@ -503,7 +503,7 @@ mod tests {
         // Satellite property: per-object tallies from the sparse tier must
         // equal what the dense traces would have recorded, across seeds and
         // lock kinds — and tiering must not perturb the simulation itself.
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             for seed in [1u64, 99] {
                 let mut cfg = quick(kind);
                 cfg.machine = cfg.machine.with_seed(seed);

@@ -352,7 +352,7 @@ mod tests {
 
     #[test]
     fn all_kinds_complete_and_count_acquires() {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let r = quick(kind, 100);
             assert!(r.finished, "{kind} hit the cycle limit");
             assert_eq!(r.total_acquires, 200, "{kind}");
@@ -367,7 +367,7 @@ mod tests {
         // (wait − backoff) must never saturate. `spin_clamped` counts the
         // windows where it did; any nonzero value here means a lock state
         // machine's backoff accounting has drifted out of its window.
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let cfg = ModernConfig {
                 kind,
                 machine: MachineConfig::wildfire(2, 4),

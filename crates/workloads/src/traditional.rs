@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn all_kinds_complete() {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let r = quick(kind, 8);
             assert!(r.finished, "{kind} hit the cycle limit");
             assert_eq!(r.total_acquires, 8 * 30, "{kind}");

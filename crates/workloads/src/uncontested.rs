@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn all_kinds_measure() {
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let r = table1(kind);
             assert!(r.same_processor_ns > 0, "{kind}");
             assert!(r.same_processor_ns < r.same_node_ns, "{kind}");
@@ -220,9 +220,11 @@ mod tests {
 
     #[test]
     fn rh_remote_is_most_expensive() {
-        // Table 1: RH 4480 ns remote vs ~2000 ns for everyone else.
+        // Table 1: RH 4480 ns remote vs ~2000 ns for everyone else. A
+        // paper-set claim — TICKET's remote handoff legitimately costs
+        // more, so the modern registrants are out of scope here.
         let rh = table1(LockKind::Rh);
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::paper() {
             if kind == LockKind::Rh {
                 continue;
             }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use hbo_repro::hbo_locks::{LockKind, NucaLock};
+use hbo_repro::hbo_locks::NucaLock;
 use hbo_repro::nuca_topology::{register_thread, Topology};
 
 const CS_SLOTS: usize = 64;
@@ -34,7 +34,7 @@ fn main() {
     for cs_len in [0usize, 16, 64] {
         println!("\n== critical work: {cs_len} slots ==");
         println!("{:<10} {:>12} {:>14}", "lock", "ns/iter", "spread %");
-        for kind in LockKind::ALL {
+        for &kind in hbo_locks::LockCatalog::kinds() {
             let lock = Arc::new(kind.instantiate(topo.num_nodes()));
             let shared = Arc::new(Shared {
                 cs_work: (0..CS_SLOTS).map(|_| AtomicU64::new(0)).collect(),

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hbo_repro::hbo_locks::{Instrumented, LockKind, NucaLock};
+use hbo_repro::hbo_locks::{Instrumented, NucaLock};
 use hbo_repro::nuca_topology::{register_thread, Topology};
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
         "lock", "total", "ns/acquire", "handoff"
     );
 
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         let lock = Arc::new(Instrumented::new(kind.instantiate(topo.num_nodes())));
         let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let started = Instant::now();

@@ -27,7 +27,7 @@ fn main() {
     );
 
     let mut baseline = None;
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         let report = run_modern(&ModernConfig {
             kind,
             machine: MachineConfig::wildfire(2, 14),

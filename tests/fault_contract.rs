@@ -40,7 +40,7 @@ fn faulted_cfg(kind: LockKind) -> ModernConfig {
 
 #[test]
 fn every_kind_completes_all_acquisitions_under_all_faults() {
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         let (report, _) = run_modern_raw(&faulted_cfg(kind));
         assert!(report.finished_all, "{kind}: faulted run hit the budget");
         assert_eq!(

@@ -44,7 +44,7 @@ fn hammer(kind: LockKind, threads: usize, iters: u64) {
 
 #[test]
 fn mutual_exclusion_all_kinds_four_threads() {
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         hammer(kind, 4, 4_000);
     }
 }
@@ -53,14 +53,14 @@ fn mutual_exclusion_all_kinds_four_threads() {
 fn mutual_exclusion_all_kinds_oversubscribed() {
     // More threads than cores: exercises preemption of spinners and
     // queue waiters on the host OS.
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         hammer(kind, 8, 500);
     }
 }
 
 #[test]
 fn try_acquire_never_blocks_and_never_lies() {
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         let lock = kind.instantiate(2);
         let t = lock
             .try_acquire(NodeId(0))
@@ -171,7 +171,7 @@ fn starvation_detection_lets_remote_node_in() {
 #[test]
 fn tokens_travel_between_threads() {
     // Acquire here, release on another thread — valid for every kind.
-    for kind in LockKind::ALL {
+    for &kind in hbo_locks::LockCatalog::kinds() {
         let lock = Arc::new(kind.instantiate(2));
         let token = lock.acquire(NodeId(0));
         let l2 = Arc::clone(&lock);

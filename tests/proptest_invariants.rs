@@ -6,7 +6,7 @@
 //! pseudo-random cases from a fixed seed, which keeps the coverage of the
 //! original properties while staying reproducible and dependency-free.
 
-use hbo_repro::hbo_locks::{Backoff, BackoffConfig, LevelBackoff, LockKind, NucaLock};
+use hbo_repro::hbo_locks::{Backoff, BackoffConfig, LevelBackoff, NucaLock};
 use hbo_repro::nuca_topology::{CpuId, NodeId, Topology};
 use hbo_repro::nucasim::{Addr, Command, CpuCtx, Machine, MachineConfig, Program, SplitMix64};
 
@@ -190,7 +190,8 @@ fn sim_fetch_add_conserves() {
 fn real_lock_exclusion() {
     let mut rng = SplitMix64::new(0x10CC);
     for _ in 0..12 {
-        let kind = LockKind::ALL[draw(&mut rng, 0, 8) as usize];
+        let all = hbo_locks::LockCatalog::kinds();
+        let kind = all[draw(&mut rng, 0, all.len() as u64) as usize];
         let threads = draw(&mut rng, 2, 5) as usize;
         let iters = draw(&mut rng, 1, 300);
         let lock = std::sync::Arc::new(kind.instantiate(2));

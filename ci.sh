@@ -283,6 +283,61 @@ print(f"showdown OK: {len(kinds)} kinds x {len(body)//len(kinds)} cpu counts")
 EOF
 fi
 
+echo "==> protocol smoke (flat default byte-identity, MESI determinism, falsesharing headline)"
+# The flat default and an explicit --protocol flat are the same model:
+# every artifact TSV must be byte-identical to the default-run output.
+./target/release/experiments colloc fig5 --fast --jobs 2 --protocol flat \
+    --out target/ci-proto-flat >/dev/null
+cmp target/ci-experiments/colloc.tsv target/ci-proto-flat/colloc.tsv
+cmp target/ci-experiments/fig5_time.tsv target/ci-proto-flat/fig5_time.tsv
+cmp target/ci-experiments/fig5_handoff.tsv target/ci-proto-flat/fig5_handoff.tsv
+# MESI runs obey the same determinism contract as flat ones: byte-identical
+# across --jobs (and the protocol must actually change the numbers).
+./target/release/experiments falsesharing colloc --fast --jobs 1 --protocol mesi \
+    --out target/ci-proto-mesi-j1 >/dev/null
+./target/release/experiments falsesharing colloc --fast --jobs 4 --protocol mesi \
+    --out target/ci-proto-mesi-j4 >/dev/null
+cmp target/ci-proto-mesi-j1/falsesharing.tsv target/ci-proto-mesi-j4/falsesharing.tsv
+cmp target/ci-proto-mesi-j1/falsesharing_twa.tsv target/ci-proto-mesi-j4/falsesharing_twa.tsv
+cmp target/ci-proto-mesi-j1/colloc.tsv target/ci-proto-mesi-j4/colloc.tsv
+if cmp -s target/ci-proto-mesi-j1/colloc.tsv target/ci-experiments/colloc.tsv; then
+    echo "expected --protocol mesi to change the colloc numbers"
+    exit 1
+fi
+for bad in "--protocol splay" "--binding diagonal" "--twa-slots 0" "--twa-hash xor"; do
+    # shellcheck disable=SC2086  # word-splitting the flag+operand is the point
+    if ./target/release/experiments colloc --fast $bad >/dev/null 2>&1; then
+        echo "expected \`$bad\` to be rejected as a usage error"
+        exit 1
+    fi
+done
+./target/release/experiments fig5 --fast --jobs 2 --binding clustered \
+    --twa-slots 64 --twa-hash stride --out target/ci-proto-flags >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+# The falsesharing headline: under MESI the colocated layout pays for
+# sharing the lock's cache line (time and global transactions), while
+# the word-granular flat model shows a zero gap by construction.
+rows = [line.rstrip("\n").split("\t")
+        for line in open("target/ci-experiments/falsesharing.tsv")]
+header, body = rows[0], rows[1:]
+cell = {r[0]: r for r in body}
+fns, fgt = header.index("flat ns/acq"), header.index("flat gtxn")
+mns, mgt = header.index("mesi ns/acq"), header.index("mesi gtxn")
+for kind in ("TATAS_EXP", "HBO_GT", "MCS"):
+    co, pad = cell[f"{kind} colocated"], cell[f"{kind} padded"]
+    assert co[fns] == pad[fns] and co[fgt] == pad[fgt], \
+        f"{kind}: flat model sees the layout ({co[fns]} vs {pad[fns]})"
+co, pad = cell["TATAS_EXP colocated"], cell["TATAS_EXP padded"]
+ratio = float(co[mns]) / float(pad[mns])
+assert ratio > 1.03, f"MESI colocated/padded ns ratio {ratio:.3f}: no false-sharing cost"
+assert int(co[mgt]) > int(pad[mgt]), \
+    f"MESI colocation added no global traffic ({co[mgt]} vs {pad[mgt]})"
+print(f"falsesharing OK: flat gap 0, MESI colocated/padded {ratio:.2f}x "
+      f"({co[mgt]} vs {pad[mgt]} gtxn)")
+EOF
+fi
+
 echo "==> million-lock memory regression (tiered per-lock stats, release)"
 cargo test --release -q -p nucasim --lib -- --ignored \
     million_lock_indices_stay_bounded

@@ -119,6 +119,66 @@ pub fn parse_kinds(value: Option<&str>) -> Result<Vec<hbo_locks::LockKind>, Stri
     Ok(kinds)
 }
 
+/// Parses the operand of `--protocol` (the coherence model every machine
+/// in the run simulates — see [`nucasim::ProtocolKind`]).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing or names no
+/// protocol (the valid names are `flat`, `mesi` and `dragon`).
+pub fn parse_protocol(value: Option<&str>) -> Result<nucasim::ProtocolKind, String> {
+    let Some(raw) = value else {
+        return Err("--protocol requires a protocol name (flat, mesi or dragon)".to_owned());
+    };
+    raw.parse::<nucasim::ProtocolKind>().map_err(|e| format!("--protocol: {e}"))
+}
+
+/// Parses the operand of `--binding` (how microbenchmark threads are
+/// bound to CPUs — see [`nuca_workloads::modern::BindingKind`]).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing or names no
+/// binding (the valid names are `rr` and `clustered`).
+pub fn parse_binding(value: Option<&str>) -> Result<nuca_workloads::modern::BindingKind, String> {
+    let Some(raw) = value else {
+        return Err("--binding requires a binding name (rr or clustered)".to_owned());
+    };
+    raw.parse::<nuca_workloads::modern::BindingKind>()
+        .map_err(|e| format!("--binding: {e}"))
+}
+
+/// Parses the operand of `--twa-slots` (TWA waiting-array length).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing, not a number, or
+/// not positive — a zero-slot waiting array has nowhere to park waiters.
+pub fn parse_twa_slots(value: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Err("--twa-slots requires a positive integer".to_owned());
+    };
+    match raw.parse::<i128>() {
+        Ok(n) if n >= 1 => usize::try_from(n)
+            .map_err(|_| format!("--twa-slots {raw} exceeds this platform's limit")),
+        Ok(_) => Err(format!("--twa-slots must be a positive integer (got {raw})")),
+        Err(_) => Err(format!("--twa-slots must be a positive integer (got `{raw}`)")),
+    }
+}
+
+/// Parses the operand of `--twa-hash` (TWA ticket→slot mapping).
+///
+/// # Errors
+///
+/// Returns a usage message when the operand is missing or names no hash
+/// (the valid names are `mod` and `stride`).
+pub fn parse_twa_hash(value: Option<&str>) -> Result<nucasim_locks::TwaHash, String> {
+    let Some(raw) = value else {
+        return Err("--twa-hash requires a hash name (mod or stride)".to_owned());
+    };
+    raw.parse::<nucasim_locks::TwaHash>().map_err(|e| format!("--twa-hash: {e}"))
+}
+
 /// Parses the operand of `--arrival-gap` (lockserver mean cycles between
 /// request batches).
 ///
@@ -240,6 +300,49 @@ mod tests {
             assert!(err.contains("--kinds"), "`{bad}`: {err}");
         }
         assert!(parse_kinds(None).is_err());
+    }
+
+    #[test]
+    fn protocol_accepts_every_name_and_rejects_the_rest() {
+        for proto in nucasim::ProtocolKind::ALL {
+            assert_eq!(parse_protocol(Some(proto.name())), Ok(proto));
+        }
+        let err = parse_protocol(Some("splay")).unwrap_err();
+        assert!(err.contains("splay"), "{err}");
+        assert!(err.contains("mesi"), "{err}");
+        assert!(parse_protocol(None).is_err());
+    }
+
+    #[test]
+    fn binding_accepts_every_name_and_rejects_the_rest() {
+        for binding in nuca_workloads::modern::BindingKind::ALL {
+            assert_eq!(parse_binding(Some(binding.name())), Ok(binding));
+        }
+        let err = parse_binding(Some("spread")).unwrap_err();
+        assert!(err.contains("spread"), "{err}");
+        assert!(err.contains("clustered"), "{err}");
+        assert!(parse_binding(None).is_err());
+    }
+
+    #[test]
+    fn twa_slots_accepts_positive_and_rejects_the_rest() {
+        assert_eq!(parse_twa_slots(Some("64")), Ok(64));
+        for bad in ["0", "-4", "lots", ""] {
+            let err = parse_twa_slots(Some(bad)).unwrap_err();
+            assert!(err.contains("--twa-slots"), "{bad}: {err}");
+        }
+        assert!(parse_twa_slots(None).is_err());
+    }
+
+    #[test]
+    fn twa_hash_accepts_every_name_and_rejects_the_rest() {
+        for hash in nucasim_locks::TwaHash::ALL {
+            assert_eq!(parse_twa_hash(Some(hash.name())), Ok(hash));
+        }
+        let err = parse_twa_hash(Some("xor")).unwrap_err();
+        assert!(err.contains("xor"), "{err}");
+        assert!(err.contains("stride"), "{err}");
+        assert!(parse_twa_hash(None).is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod apps_exp;
 pub mod cli;
 pub mod colloc;
+pub mod falsesharing;
 pub mod fig10;
 pub mod fig3;
 pub mod fig5;
@@ -94,10 +95,11 @@ pub const EXPERIMENTS: [&str; 13] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXTENSIONS: [&str; 9] = [
+pub const EXTENSIONS: [&str; 10] = [
     "nuca_ratio",
     "hier",
     "colloc",
+    "falsesharing",
     "ticket",
     "lat_hist",
     "robustness",
@@ -129,6 +131,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<Vec<Report>, UnknownExpe
         "nuca_ratio" => Ok(vec![nuca_ratio::run(scale)]),
         "hier" => Ok(vec![hier_exp::run(scale)]),
         "colloc" => Ok(vec![colloc::run(scale)]),
+        "falsesharing" => Ok(falsesharing::run(scale)),
         "ticket" => Ok(vec![ticket_exp::run(scale)]),
         "lat_hist" => Ok(vec![lat_hist::run(scale)]),
         "robustness" => Ok(vec![robustness::run(scale)]),

@@ -20,9 +20,11 @@ use nuca_experiments::{run_experiment, runner, tracecap, Report, Scale, EXPERIME
 use nuca_experiments::UnknownExperiment;
 
 const USAGE: &str = "usage: experiments [--fast] [--out DIR] [--jobs N] \
-     [--sched wheel|heap|check] [--kinds NAME,NAME,...] [--bench-json PATH] \
-     [--trace PATH] [--metrics-json PATH] [--profile PATH] [--shards N] \
-     [--zipf THETA] [--arrival-gap CYCLES] <id>... | all | --list";
+     [--sched wheel|heap|check] [--protocol flat|mesi|dragon] \
+     [--binding rr|clustered] [--kinds NAME,NAME,...] [--twa-slots N] \
+     [--twa-hash mod|stride] [--bench-json PATH] [--trace PATH] \
+     [--metrics-json PATH] [--profile PATH] [--shards N] [--zipf THETA] \
+     [--arrival-gap CYCLES] <id>... | all | --list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +57,38 @@ fn main() -> ExitCode {
             },
             "--sched" => match nuca_experiments::cli::parse_sched(iter.next().as_deref()) {
                 Ok(kind) => nucasim::set_default_sched(kind),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--protocol" => match nuca_experiments::cli::parse_protocol(iter.next().as_deref()) {
+                Ok(proto) => nucasim::set_default_protocol(proto),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--binding" => match nuca_experiments::cli::parse_binding(iter.next().as_deref()) {
+                Ok(binding) => nuca_workloads::modern::set_default_binding(binding),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--twa-slots" => match nuca_experiments::cli::parse_twa_slots(iter.next().as_deref()) {
+                Ok(n) => nucasim_locks::set_default_twa_slots(n),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--twa-hash" => match nuca_experiments::cli::parse_twa_hash(iter.next().as_deref()) {
+                Ok(hash) => nucasim_locks::set_default_twa_hash(hash),
                 Err(msg) => {
                     eprintln!("{msg}");
                     eprintln!("{USAGE}");

@@ -207,6 +207,9 @@ pub fn profile_json(profiles: &[(String, Profile)]) -> String {
         w.field_u64("throttle_spins", p.throttle_spins);
         w.field_u64("preemptions", p.preemptions);
         w.field_u64("migrations", p.migrations);
+        w.field_u64("upgrades", p.upgrades);
+        w.field_u64("evictions", p.evictions);
+        w.field_u64("update_broadcasts", p.update_broadcasts);
         w.key("locks");
         w.begin_array();
         for lock in &p.locks {

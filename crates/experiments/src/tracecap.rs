@@ -317,6 +317,49 @@ fn write_event(w: &mut JsonWriter, pid: u64, rec: &TraceRecord) {
             w.field_u64("node", node.index() as u64);
             w.end_object();
         }
+        SimEvent::Upgrade {
+            cpu,
+            node,
+            home,
+            invalidated,
+        } => {
+            instant(w, "Upgrade", cpu.index());
+            w.key("args");
+            w.begin_object();
+            w.field_u64("node", node.index() as u64);
+            w.field_u64("home", home.index() as u64);
+            w.field_u64("invalidated", invalidated as u64);
+            w.end_object();
+        }
+        SimEvent::Eviction {
+            cpu,
+            node,
+            home,
+            dirty,
+        } => {
+            instant(w, "Eviction", cpu.index());
+            w.key("args");
+            w.begin_object();
+            w.field_u64("node", node.index() as u64);
+            w.field_u64("home", home.index() as u64);
+            w.key("dirty");
+            w.boolean(dirty);
+            w.end_object();
+        }
+        SimEvent::UpdateBroadcast {
+            cpu,
+            node,
+            home,
+            sharers,
+        } => {
+            instant(w, "UpdateBroadcast", cpu.index());
+            w.key("args");
+            w.begin_object();
+            w.field_u64("node", node.index() as u64);
+            w.field_u64("home", home.index() as u64);
+            w.field_u64("sharers", sharers as u64);
+            w.end_object();
+        }
     }
     w.end_object();
 }
@@ -392,6 +435,21 @@ pub fn metrics_json(scale: Scale, captures: &[Capture]) -> String {
         w.field_u64("anger_episodes", r.anger_episodes);
         w.field_u64("preemptions", r.preemptions);
         w.field_u64("migrations", r.migrations);
+        // Protocol-level counters, tallied from the event stream (the
+        // aggregate report predates the coherence layer and does not
+        // carry them). All three are zero under the flat protocol.
+        let (mut upgrades, mut evictions, mut update_broadcasts) = (0u64, 0u64, 0u64);
+        for rec in &cap.records {
+            match rec.event {
+                SimEvent::Upgrade { .. } => upgrades += 1,
+                SimEvent::Eviction { .. } => evictions += 1,
+                SimEvent::UpdateBroadcast { .. } => update_broadcasts += 1,
+                _ => {}
+            }
+        }
+        w.field_u64("upgrades", upgrades);
+        w.field_u64("evictions", evictions);
+        w.field_u64("update_broadcasts", update_broadcasts);
         w.field_u64("trace_events", cap.records.len() as u64);
         w.key("locks");
         w.begin_array();
@@ -471,7 +529,10 @@ mod tests {
                     | SimEvent::Preempt { cpu, .. }
                     | SimEvent::Migrate { cpu, .. }
                     | SimEvent::GotAngry { cpu, .. }
-                    | SimEvent::ThrottleSpin { cpu, .. } => cpu.index(),
+                    | SimEvent::ThrottleSpin { cpu, .. }
+                    | SimEvent::Upgrade { cpu, .. }
+                    | SimEvent::Eviction { cpu, .. }
+                    | SimEvent::UpdateBroadcast { cpu, .. } => cpu.index(),
                 };
                 let prev = last_at.entry(cpu).or_insert(0);
                 assert!(

@@ -37,6 +37,15 @@ fn table2_tsv_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn falsesharing_tsv_identical_serial_vs_parallel() {
+    // The MESI/Dragon runs inside the sweep must be byte-identical across
+    // job counts, exactly like the flat ones: protocol state is
+    // per-machine, never shared between concurrent simulations.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(tsv_bytes("falsesharing", 1), tsv_bytes("falsesharing", 4));
+}
+
+#[test]
 fn robustness_tsv_identical_serial_vs_parallel() {
     // The faulted sweep must stay deterministic too: fault-layer RNG
     // streams are seeded per run, never shared across jobs.

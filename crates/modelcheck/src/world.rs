@@ -27,9 +27,11 @@ use crate::{CheckConfig, Subject, Violation};
 /// Lock tunables used for checking: minimal backoffs (delays are no-ops
 /// here, but their counters are session state), a tiny anger threshold so
 /// HBO_GT_SD's starvation machinery is actually reachable, a tiny RH
-/// handover budget so both release tags are exercised, and a tiny CNA
+/// handover budget so both release tags are exercised, a tiny CNA
 /// splice threshold so the secondary-queue splice path is reachable at
-/// checker scale.
+/// checker scale, and a one-slot TWA waiting array so every ticket
+/// collides — the spurious-wakeup re-park path is explored, not just the
+/// collision-free fast path.
 pub fn checker_params() -> SimLockParams {
     SimLockParams {
         local: BackoffConfig::new(1, 2, 2),
@@ -37,6 +39,8 @@ pub fn checker_params() -> SimLockParams {
         get_angry_limit: 2,
         rh_max_handovers: 2,
         cna_splice_threshold: 2,
+        twa_slots: 1,
+        twa_hash: nucasim_locks::TwaHash::Mod,
     }
 }
 

@@ -57,6 +57,113 @@ impl FromStr for SchedKind {
     }
 }
 
+/// Which coherence protocol the memory system models (see
+/// [`crate::coherence`]).
+///
+/// Unlike [`SchedKind`], the protocol *does* change results: `flat` is the
+/// original word-granular ownership model (every address its own line, no
+/// capacity limits), while `mesi` and `dragon` model real set-associative
+/// caches per CPU with line-granular state, so false sharing and evictions
+/// become visible. Each protocol is individually deterministic — the same
+/// config produces byte-identical output at any `--jobs`/`--sched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolKind {
+    /// Word-granular MOESI-flavoured ownership without geometry — the fast
+    /// preset every pre-existing artifact uses. The default.
+    #[default]
+    Flat,
+    /// Invalidate-based MESI over set-associative caches: writes to shared
+    /// lines upgrade by invalidating every other copy.
+    Mesi,
+    /// Update-based Dragon over set-associative caches: writes broadcast
+    /// the new value to sharers, which stay valid.
+    Dragon,
+}
+
+impl ProtocolKind {
+    /// Every protocol kind, in CLI-listing order.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::Flat, ProtocolKind::Mesi, ProtocolKind::Dragon];
+
+    /// The CLI name (`flat`, `mesi`, `dragon`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Flat => "flat",
+            ProtocolKind::Mesi => "mesi",
+            ProtocolKind::Dragon => "dragon",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ProtocolKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ProtocolKind, String> {
+        ProtocolKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown protocol '{s}' (expected flat, mesi or dragon)"))
+    }
+}
+
+/// Per-CPU cache geometry for the set-associative protocols
+/// ([`ProtocolKind::Mesi`], [`ProtocolKind::Dragon`]).
+///
+/// A cache holds `sets × ways` lines of `line_words` words each. The flat
+/// protocol ignores geometry entirely (every word is its own unbounded
+/// line). Line addresses map to sets by `line & (sets - 1)`, which is why
+/// `sets` and `line_words` must be powers of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Words per cache line (power of two). Words `k*line_words ..
+    /// (k+1)*line_words` of the simulated address space share coherence
+    /// state — the source of false sharing.
+    pub line_words: usize,
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity: lines per set. Victims are chosen by LRU.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// The default geometry: 8-word (64-byte) lines, 64 sets × 8 ways =
+    /// 512 lines (4 KiB of simulated words) per CPU — small enough that
+    /// artifact working sets exert real pressure.
+    pub const fn default_geometry() -> CacheGeometry {
+        CacheGeometry { line_words: 8, sets: 64, ways: 8 }
+    }
+
+    /// Builds a geometry from a total capacity in lines, deriving the
+    /// associativity as `capacity_lines / sets`. A capacity smaller than
+    /// one set yields zero ways, which [`MachineConfig::validate`]
+    /// rejects.
+    pub const fn from_capacity(
+        line_words: usize,
+        sets: usize,
+        capacity_lines: usize,
+    ) -> CacheGeometry {
+        let sets_divisor = if sets == 0 { 1 } else { sets };
+        CacheGeometry { line_words, sets, ways: capacity_lines / sets_divisor }
+    }
+
+    /// Total lines per CPU cache.
+    pub const fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        CacheGeometry::default_geometry()
+    }
+}
+
 /// Unloaded latencies and occupancies of the simulated memory system, in
 /// cycles (4 ns each at the 250 MHz clock).
 ///
@@ -263,6 +370,14 @@ pub struct MachineConfig {
     /// choice never affects results, only speed — the harness `--sched`
     /// flag flips the default for A/B runs.
     pub sched: Option<SchedKind>,
+    /// Coherence protocol; `None` uses the process-wide default
+    /// ([`crate::default_protocol`], normally [`ProtocolKind::Flat`]).
+    /// Unlike `sched` this changes results — the harness `--protocol`
+    /// flag flips the default for protocol-sensitivity runs.
+    pub protocol: Option<ProtocolKind>,
+    /// Per-CPU cache geometry for the set-associative protocols. Ignored
+    /// by [`ProtocolKind::Flat`].
+    pub geometry: CacheGeometry,
     /// Seed for all engine-internal randomness.
     pub seed: u64,
     /// Lock indices below this bound get full dense [`crate::LockTrace`]s
@@ -298,6 +413,28 @@ impl MachineConfig {
                 crate::MAX_SIM_CPUS
             ));
         }
+        let g = &self.geometry;
+        if g.line_words == 0 || !g.line_words.is_power_of_two() {
+            return Err(format!(
+                "cache line of {} words is not a non-zero power of two \
+                 (line addresses are derived by shifting word indices)",
+                g.line_words
+            ));
+        }
+        if g.sets == 0 || !g.sets.is_power_of_two() {
+            return Err(format!(
+                "cache with {} sets is not a non-zero power of two \
+                 (set indices are derived by masking line addresses)",
+                g.sets
+            ));
+        }
+        if g.ways == 0 {
+            return Err(String::from(
+                "cache has zero ways — its capacity is smaller than one \
+                 set, so no line could ever be cached (raise the capacity \
+                 or lower the set count)",
+            ));
+        }
         Ok(())
     }
 
@@ -309,6 +446,8 @@ impl MachineConfig {
             preemption: None,
             faults: None,
             sched: None,
+            protocol: None,
+            geometry: CacheGeometry::default_geometry(),
             seed: 0x5EED,
             hot_locks: crate::DEFAULT_HOT_LOCKS,
         }
@@ -322,6 +461,8 @@ impl MachineConfig {
             preemption: None,
             faults: None,
             sched: None,
+            protocol: None,
+            geometry: CacheGeometry::default_geometry(),
             seed: 0x5EED,
             hot_locks: crate::DEFAULT_HOT_LOCKS,
         }
@@ -369,6 +510,25 @@ impl MachineConfig {
     #[must_use]
     pub fn with_sched(mut self, sched: SchedKind) -> MachineConfig {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Selects the coherence protocol explicitly (overriding the process
+    /// default for this machine only).
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> MachineConfig {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Replaces the cache geometry (used by the set-associative
+    /// protocols; the flat protocol ignores it). Degenerate geometries
+    /// are rejected by [`MachineConfig::validate`] when the machine is
+    /// built, not here — `from_capacity` legitimately produces zero-way
+    /// geometries that callers may still inspect.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: CacheGeometry) -> MachineConfig {
+        self.geometry = geometry;
         self
     }
 
@@ -467,6 +627,69 @@ mod tests {
         assert!(err.contains("128"), "{err}");
         let err = MachineConfig::e6000(129).validate().unwrap_err();
         assert!(err.contains("129"), "{err}");
+    }
+
+    #[test]
+    fn protocol_kind_round_trips_through_names() {
+        for k in ProtocolKind::ALL {
+            assert_eq!(k.name().parse::<ProtocolKind>().unwrap(), k);
+        }
+        let err = "moesi".parse::<ProtocolKind>().unwrap_err();
+        assert!(err.contains("moesi"), "{err}");
+        assert!(err.contains("flat, mesi or dragon"), "{err}");
+        assert_eq!(ProtocolKind::default(), ProtocolKind::Flat);
+    }
+
+    #[test]
+    fn geometry_capacity_and_builders() {
+        let g = CacheGeometry::default_geometry();
+        assert_eq!(g.capacity_lines(), 512);
+        let g = CacheGeometry::from_capacity(8, 64, 1024);
+        assert_eq!(g.ways, 16);
+        let cfg = MachineConfig::wildfire(2, 4)
+            .with_protocol(ProtocolKind::Mesi)
+            .with_geometry(CacheGeometry { line_words: 4, sets: 16, ways: 2 });
+        assert_eq!(cfg.protocol, Some(ProtocolKind::Mesi));
+        assert_eq!(cfg.geometry.capacity_lines(), 32);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_geometries_rejected() {
+        let base = MachineConfig::wildfire(2, 2);
+        // Non-power-of-two line size.
+        let err = base
+            .clone()
+            .with_geometry(CacheGeometry { line_words: 6, sets: 64, ways: 8 })
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("line of 6 words"), "{err}");
+        // Zero line words.
+        assert!(base
+            .clone()
+            .with_geometry(CacheGeometry { line_words: 0, sets: 64, ways: 8 })
+            .validate()
+            .is_err());
+        // Non-power-of-two / zero sets.
+        let err = base
+            .clone()
+            .with_geometry(CacheGeometry { line_words: 8, sets: 48, ways: 8 })
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("48 sets"), "{err}");
+        assert!(base
+            .clone()
+            .with_geometry(CacheGeometry { line_words: 8, sets: 0, ways: 8 })
+            .validate()
+            .is_err());
+        // Capacity smaller than one set → zero ways.
+        let err = base
+            .clone()
+            .with_geometry(CacheGeometry::from_capacity(8, 64, 32))
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("zero ways"), "{err}");
+        assert!(err.contains("smaller than one"), "{err}");
     }
 
     #[test]

@@ -200,7 +200,12 @@ impl Machine {
             }
             PreemptState::new(p, topo.num_cpus(), &mut rng)
         });
-        let mut mem = MemorySystem::new(Arc::clone(&topo), cfg.latency);
+        let mut mem = MemorySystem::new(
+            Arc::clone(&topo),
+            cfg.latency,
+            cfg.protocol.unwrap_or_else(crate::default_protocol),
+            cfg.geometry,
+        );
         // FaultConfig::none() is exactly equivalent to no fault config:
         // no state, no extra rng draws, bit-identical runs.
         let faults = cfg.faults.filter(FaultConfig::is_active).map(|f| {
@@ -950,7 +955,10 @@ mod tests {
                 | SimEvent::Preempt { cpu, .. }
                 | SimEvent::GotAngry { cpu, .. }
                 | SimEvent::ThrottleSpin { cpu, .. }
-                | SimEvent::Migrate { cpu, .. } => cpu,
+                | SimEvent::Migrate { cpu, .. }
+                | SimEvent::Upgrade { cpu, .. }
+                | SimEvent::Eviction { cpu, .. }
+                | SimEvent::UpdateBroadcast { cpu, .. } => cpu,
             };
             assert!(
                 r.at >= last_per_cpu[cpu.index()],

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coherence;
 mod config;
 mod engine;
 mod faults;
@@ -82,7 +83,7 @@ pub mod selftime;
 mod stats;
 mod trace;
 
-pub use config::{LatencyModel, MachineConfig, SchedKind};
+pub use config::{CacheGeometry, LatencyModel, MachineConfig, ProtocolKind, SchedKind};
 pub use sched::{SchedOp, SchedOpLog};
 pub use engine::{Machine, RunStatus, SimReport};
 pub use faults::{
@@ -150,4 +151,23 @@ pub fn set_default_sched(kind: SchedKind) {
 /// The current process-wide default scheduler.
 pub fn default_sched() -> SchedKind {
     SchedKind::ALL[DEFAULT_SCHED.load(std::sync::atomic::Ordering::Relaxed) as usize]
+}
+
+/// Process-wide default coherence protocol, used by every
+/// [`MachineConfig`] whose `protocol` field is `None`. Encoded as the
+/// index into [`ProtocolKind::ALL`]; defaults to the flat model.
+static DEFAULT_PROTOCOL: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Sets the process-wide default coherence protocol (the harness
+/// `--protocol` flag). Machines built afterwards without an explicit
+/// `protocol` use `kind`. Unlike [`set_default_sched`] this changes
+/// simulation results: each protocol is its own deterministic model.
+pub fn set_default_protocol(kind: ProtocolKind) {
+    let idx = ProtocolKind::ALL.iter().position(|&k| k == kind).expect("in ALL") as u8;
+    DEFAULT_PROTOCOL.store(idx, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current process-wide default coherence protocol.
+pub fn default_protocol() -> ProtocolKind {
+    ProtocolKind::ALL[DEFAULT_PROTOCOL.load(std::sync::atomic::Ordering::Relaxed) as usize]
 }

@@ -27,7 +27,8 @@ use std::sync::Arc;
 
 use nuca_topology::{CpuId, NodeId, Topology};
 
-use crate::config::LatencyModel;
+use crate::coherence::{self, CoherenceProtocol};
+use crate::config::{CacheGeometry, LatencyModel, ProtocolKind};
 use crate::rng::SplitMix64;
 use crate::stats::SimStats;
 use crate::trace::{SimEvent, TraceSink};
@@ -141,18 +142,18 @@ enum Source {
 pub const MAX_SIM_CPUS: usize = 128;
 
 /// "No exclusive owner" sentinel in [`MemorySystem::owners`].
-const NO_OWNER: u32 = u32::MAX;
+pub(crate) const NO_OWNER: u32 = u32::MAX;
 /// Null link / empty-chain sentinel for watcher arena indices.
-const WNIL: u32 = u32::MAX;
+pub(crate) const WNIL: u32 = u32::MAX;
 
 /// One parked spinner in the watcher arena. Freed nodes chain through
 /// `next` onto the freelist.
 #[derive(Debug, Clone, Copy)]
-struct WatchNode {
+pub(crate) struct WatchNode {
     /// Wake when the line's value differs from this.
-    equals: u64,
-    cpu: u32,
-    next: u32,
+    pub(crate) equals: u64,
+    pub(crate) cpu: u32,
+    pub(crate) next: u32,
 }
 
 /// A completed access: when it finishes and what it returned. Watchers it
@@ -170,10 +171,10 @@ pub(crate) struct AccessOutcome {
 /// [module docs](self)).
 #[derive(Debug)]
 pub struct MemorySystem {
-    topo: Arc<Topology>,
-    latency: LatencyModel,
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) latency: LatencyModel,
     /// Current value of each word.
-    values: Vec<u64>,
+    pub(crate) values: Vec<u64>,
     /// CPU holding each line modified/exclusive ([`NO_OWNER`] if none).
     owners: Vec<u32>,
     /// CPUs holding shared copies (bitmask; the simulator supports up to
@@ -182,22 +183,22 @@ pub struct MemorySystem {
     /// Time until which each line's coherence agent is busy.
     busy_until: Vec<u64>,
     /// Home node of each word.
-    homes: Vec<NodeId>,
+    pub(crate) homes: Vec<NodeId>,
     /// Head/tail of each line's watcher chain ([`WNIL`] when empty).
     /// CPUs sleeping until the line's value changes park here, in FIFO
     /// order — wake order is registration order.
-    watch_head: Vec<u32>,
-    watch_tail: Vec<u32>,
+    pub(crate) watch_head: Vec<u32>,
+    pub(crate) watch_tail: Vec<u32>,
     /// Watcher node arena; `wfree` heads its freelist.
-    wnodes: Vec<WatchNode>,
-    wfree: u32,
+    pub(crate) wnodes: Vec<WatchNode>,
+    pub(crate) wfree: u32,
     /// Per-node snooping-bus occupancy horizon: every coherence
     /// transaction touching a node serializes on its bus, so lock storms
     /// slow down unrelated data accesses (the paper's interference).
-    bus_until: Vec<u64>,
+    pub(crate) bus_until: Vec<u64>,
     /// Inter-node link occupancy horizon (one shared resource, matching
     /// the WildFire's single interface).
-    link_until: u64,
+    pub(crate) link_until: u64,
     /// Recycled wake buffer for the internal reads issued by
     /// [`MemorySystem::wait_while`] (reads never wake watchers, so it
     /// always comes back empty).
@@ -208,15 +209,25 @@ pub struct MemorySystem {
     /// Whether any migration has happened. While false (the overwhelmingly
     /// common case) topology-derived shortcuts like the same-chip class
     /// stay valid.
-    migrated: bool,
+    pub(crate) migrated: bool,
     /// One slow node: `(node, latency multiplier)` for transfers it serves.
     slow_node: Option<(NodeId, u64)>,
     /// Bounded uniform latency noise: `(max_extra, stream)`.
     jitter: Option<(u64, SplitMix64)>,
+    /// Set-associative coherence protocol ([`crate::coherence`]), or
+    /// `None` for the flat model. `None` keeps the flat hot path exactly
+    /// as it was — one predictable branch at the top of
+    /// [`MemorySystem::access`], no indirection.
+    pub(crate) proto: Option<Box<dyn CoherenceProtocol>>,
 }
 
 impl MemorySystem {
-    pub(crate) fn new(topo: Arc<Topology>, latency: LatencyModel) -> MemorySystem {
+    pub(crate) fn new(
+        topo: Arc<Topology>,
+        latency: LatencyModel,
+        protocol: ProtocolKind,
+        geometry: CacheGeometry,
+    ) -> MemorySystem {
         // Backstop for the MachineConfig-level validation: a sharer bitmask
         // must have a bit for every CPU, in release builds too.
         assert!(
@@ -227,6 +238,7 @@ impl MemorySystem {
             MAX_SIM_CPUS
         );
         let nodes = topo.num_nodes();
+        let num_cpus = topo.num_cpus();
         let cpu_nodes = (0..topo.num_cpus()).map(|c| topo.node_of(CpuId(c))).collect();
         MemorySystem {
             topo,
@@ -247,6 +259,7 @@ impl MemorySystem {
             migrated: false,
             slow_node: None,
             jitter: None,
+            proto: coherence::build_protocol(protocol, geometry, num_cpus),
         }
     }
 
@@ -277,7 +290,7 @@ impl MemorySystem {
     /// Fault-layer latency adjustment for a transfer served by
     /// `served_by`: the slow-node multiplier, then bounded jitter. Both
     /// disabled (the default) returns `base` untouched and draws nothing.
-    fn faulted_latency(&mut self, base: u64, served_by: NodeId) -> u64 {
+    pub(crate) fn faulted_latency(&mut self, base: u64, served_by: NodeId) -> u64 {
         let mut lat = base;
         if let Some((slow, factor)) = self.slow_node {
             if served_by == slow {
@@ -288,6 +301,14 @@ impl MemorySystem {
             lat += rng.next_below(*max_extra + 1);
         }
         lat
+    }
+
+    /// The coherence protocol this memory system models.
+    pub fn protocol(&self) -> ProtocolKind {
+        match &self.proto {
+            Some(p) => p.kind(),
+            None => ProtocolKind::Flat,
+        }
     }
 
     /// Allocates a fresh zero-initialized word homed in `node`.
@@ -404,7 +425,7 @@ impl MemorySystem {
         }
     }
 
-    fn apply_op(value: &mut u64, op: MemOp) -> u64 {
+    pub(crate) fn apply_op(value: &mut u64, op: MemOp) -> u64 {
         let old = *value;
         match op {
             MemOp::Read => {}
@@ -457,6 +478,33 @@ impl MemorySystem {
     /// burst never allocates.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn access(
+        &mut self,
+        now: u64,
+        cpu: CpuId,
+        addr: Addr,
+        op: MemOp,
+        stats: &mut SimStats,
+        trace: Option<&mut (dyn TraceSink + 'static)>,
+        woken: &mut Vec<(CpuId, u64, u64)>,
+    ) -> AccessOutcome {
+        if self.proto.is_some() {
+            // Set-associative protocol installed: the protocol object owns
+            // the whole access (state machine, geometry, timing). Taken out
+            // and put back so it can borrow the rest of the memory system.
+            let mut p = self.proto.take().expect("checked above");
+            let out = p.access(self, now, cpu, addr, op, stats, trace, woken);
+            self.proto = Some(p);
+            return out;
+        }
+        self.flat_access(now, cpu, addr, op, stats, trace, woken)
+    }
+
+    /// The flat word-granular access path (every word its own line).
+    /// Reached directly when no protocol object is installed, and via
+    /// [`crate::coherence::FlatProtocol`] when one is — the two are
+    /// pinned equivalent by test.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn flat_access(
         &mut self,
         now: u64,
         cpu: CpuId,
@@ -813,8 +861,10 @@ impl MemorySystem {
             self.read_scratch = scratch;
             return Some((out.complete_at, out.value));
         }
-        let holds_copy =
-            self.owners[i] == cpu.index() as u32 || self.sharers[i] & (1 << cpu.index()) != 0;
+        let holds_copy = match &self.proto {
+            Some(p) => p.holds_copy(self, cpu, addr),
+            None => self.flat_holds_copy(cpu, addr),
+        };
         if !holds_copy {
             // Fetch the line (traffic + line/bus occupancy) before
             // sleeping on it.
@@ -825,6 +875,13 @@ impl MemorySystem {
         }
         self.park_watcher(i, cpu, equals);
         None
+    }
+
+    /// Whether `cpu` holds a valid copy of `addr` under the flat model
+    /// (exclusive owner or sharer of the word).
+    pub(crate) fn flat_holds_copy(&self, cpu: CpuId, addr: Addr) -> bool {
+        let i = addr.index();
+        self.owners[i] == cpu.index() as u32 || self.sharers[i] & (1 << cpu.index()) != 0
     }
 
     /// Materializes the final value of every allocated word, in address
@@ -842,7 +899,7 @@ mod tests {
     fn mem2x2() -> (MemorySystem, SimStats) {
         let topo = Arc::new(Topology::symmetric(2, 2));
         (
-            MemorySystem::new(topo, LatencyModel::wildfire()),
+            MemorySystem::new(topo, LatencyModel::wildfire(), ProtocolKind::Flat, CacheGeometry::default_geometry()),
             SimStats::new(),
         )
     }
@@ -1054,7 +1111,7 @@ mod tests {
         // More concurrent watchers than the inline buffer holds: all of
         // them must still be tracked and woken.
         let topo = Arc::new(Topology::symmetric(2, 4));
-        let mut mem = MemorySystem::new(topo, LatencyModel::wildfire());
+        let mut mem = MemorySystem::new(topo, LatencyModel::wildfire(), ProtocolKind::Flat, CacheGeometry::default_geometry());
         let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
         for c in 1..8 {
@@ -1072,7 +1129,7 @@ mod tests {
         let topo = Arc::new(Topology::symmetric(2, 2));
         let mut lat = LatencyModel::wildfire();
         lat.same_chip_transfer = 1; // absurdly cheap — detectable if used
-        let mut mem = MemorySystem::new(topo, lat);
+        let mut mem = MemorySystem::new(topo, lat, ProtocolKind::Flat, CacheGeometry::default_geometry());
         let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
         access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st);
@@ -1093,7 +1150,7 @@ mod tests {
                 .unwrap(),
         );
         let lat = LatencyModel::cmp_numa();
-        let mut mem = MemorySystem::new(topo, lat);
+        let mut mem = MemorySystem::new(topo, lat, ProtocolKind::Flat, CacheGeometry::default_geometry());
         let mut st = SimStats::new();
         let a = mem.alloc(NodeId(0));
         access(&mut mem, 0, CpuId(0), a, MemOp::Write(1), &mut st);

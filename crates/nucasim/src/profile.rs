@@ -273,6 +273,12 @@ pub struct Profile {
     pub preemptions: u64,
     /// Injected thread migrations observed.
     pub migrations: u64,
+    /// MESI shared→exclusive upgrade invalidations observed.
+    pub upgrades: u64,
+    /// Set-associative cache evictions observed.
+    pub evictions: u64,
+    /// Dragon update broadcasts observed.
+    pub update_broadcasts: u64,
     /// Total [`SimEvent`]s folded into this profile.
     pub events: u64,
 }
@@ -291,6 +297,9 @@ impl Profile {
         self.throttle_spins += other.throttle_spins;
         self.preemptions += other.preemptions;
         self.migrations += other.migrations;
+        self.upgrades += other.upgrades;
+        self.evictions += other.evictions;
+        self.update_broadcasts += other.update_broadcasts;
         self.events += other.events;
     }
 
@@ -436,6 +445,9 @@ impl ProfCore {
             SimEvent::ThrottleSpin { .. } => self.profile.throttle_spins += 1,
             SimEvent::Preempt { .. } => self.profile.preemptions += 1,
             SimEvent::Migrate { .. } => self.profile.migrations += 1,
+            SimEvent::Upgrade { .. } => self.profile.upgrades += 1,
+            SimEvent::Eviction { .. } => self.profile.evictions += 1,
+            SimEvent::UpdateBroadcast { .. } => self.profile.update_broadcasts += 1,
         }
     }
 

@@ -116,6 +116,43 @@ pub enum SimEvent {
         /// Node it now runs on.
         to: NodeId,
     },
+    /// A MESI writer already sharing a line upgraded it to exclusive by
+    /// invalidating every other copy (only the set-associative protocols
+    /// emit this; the flat model folds upgrades into plain writes).
+    Upgrade {
+        /// The upgrading writer.
+        cpu: CpuId,
+        /// Its node.
+        node: NodeId,
+        /// The line's home node.
+        home: NodeId,
+        /// How many other nodes held a copy that got invalidated.
+        invalidated: u32,
+    },
+    /// A set-associative cache evicted a line to make room (LRU victim).
+    Eviction {
+        /// The CPU whose cache evicted.
+        cpu: CpuId,
+        /// Its node.
+        node: NodeId,
+        /// The *victim* line's home node (where a dirty line writes back).
+        home: NodeId,
+        /// Whether the victim was dirty (modified) and paid a writeback.
+        dirty: bool,
+    },
+    /// A Dragon writer broadcast the new value to every sharer of the
+    /// line (update-based coherence: copies stay valid instead of being
+    /// invalidated).
+    UpdateBroadcast {
+        /// The writing CPU.
+        cpu: CpuId,
+        /// Its node.
+        node: NodeId,
+        /// The line's home node.
+        home: NodeId,
+        /// How many other nodes received the update.
+        sharers: u32,
+    },
 }
 
 /// Receives timestamped [`SimEvent`]s from a running machine.

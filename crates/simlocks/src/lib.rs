@@ -166,6 +166,64 @@ impl GtSlots {
     }
 }
 
+/// How TWA maps a ticket to a waiting-array slot.
+///
+/// The choice matters under line-granular coherence: with [`TwaHash::Mod`]
+/// consecutive tickets park on *adjacent* slots, so a promote bump falsely
+/// shares its cache line with the neighbours' slots; [`TwaHash::Stride`]
+/// spreads consecutive tickets across the array, putting neighbouring
+/// tickets on different lines at the cost of less predictable collisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TwaHash {
+    /// `slot = ticket % slots` — the published TWA mapping.
+    #[default]
+    Mod,
+    /// `slot = (ticket * 7) % slots` — a coprime stride that separates
+    /// consecutive tickets by several slots (and usually several lines).
+    Stride,
+}
+
+impl TwaHash {
+    /// Every hash, in menu order.
+    pub const ALL: [TwaHash; 2] = [TwaHash::Mod, TwaHash::Stride];
+
+    /// Stable lowercase name (CLI operand and TSV label).
+    pub fn name(self) -> &'static str {
+        match self {
+            TwaHash::Mod => "mod",
+            TwaHash::Stride => "stride",
+        }
+    }
+
+    /// The waiting-array index for `ticket` out of `slots`.
+    pub fn slot(self, ticket: u64, slots: usize) -> usize {
+        let s = slots as u64;
+        let i = match self {
+            TwaHash::Mod => ticket % s,
+            TwaHash::Stride => ticket.wrapping_mul(7) % s,
+        };
+        i as usize
+    }
+}
+
+impl fmt::Display for TwaHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TwaHash {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TwaHash, String> {
+        match s {
+            "mod" => Ok(TwaHash::Mod),
+            "stride" => Ok(TwaHash::Stride),
+            other => Err(format!("unknown TWA hash '{other}' (expected mod or stride)")),
+        }
+    }
+}
+
 /// Tunables shared by the simulator lock implementations.
 ///
 /// Backoff delays are simulated cycles. The defaults are tuned for the
@@ -188,6 +246,11 @@ pub struct SimLockParams {
     /// CNA consecutive local handoffs before the releaser splices the
     /// secondary (remote) queue back ahead of the main queue.
     pub cna_splice_threshold: u32,
+    /// TWA waiting-array slots (the published lock uses 4096 process-wide;
+    /// the simulator default is 16, keeping the collision semantics).
+    pub twa_slots: usize,
+    /// TWA ticket→slot mapping.
+    pub twa_hash: TwaHash,
 }
 
 impl Default for SimLockParams {
@@ -198,6 +261,8 @@ impl Default for SimLockParams {
             get_angry_limit: 16,
             rh_max_handovers: 64,
             cna_splice_threshold: 64,
+            twa_slots: default_twa_slots(),
+            twa_hash: default_twa_hash(),
         }
     }
 }
@@ -225,6 +290,53 @@ impl SimLockParams {
         self.cna_splice_threshold = threshold;
         self
     }
+
+    /// Returns the params with a different TWA waiting-array geometry.
+    #[must_use]
+    pub fn with_twa(mut self, slots: usize, hash: TwaHash) -> SimLockParams {
+        assert!(slots >= 1, "TWA needs at least one waiting-array slot");
+        self.twa_slots = slots;
+        self.twa_hash = hash;
+        self
+    }
+}
+
+/// Process-wide default TWA waiting-array slot count, read by
+/// [`SimLockParams::default`]. The harness `--twa-slots` flag sets it once
+/// before any run.
+static DEFAULT_TWA_SLOTS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(16);
+
+/// Process-wide default TWA hash ([`TwaHash::ALL`] index), read by
+/// [`SimLockParams::default`]. The harness `--twa-hash` flag sets it.
+static DEFAULT_TWA_HASH: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Sets the process-wide default TWA waiting-array slot count.
+///
+/// # Panics
+///
+/// Panics on `slots == 0` — a slotless array has nowhere to park.
+pub fn set_default_twa_slots(slots: usize) {
+    assert!(slots >= 1, "TWA needs at least one waiting-array slot");
+    DEFAULT_TWA_SLOTS.store(slots, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-wide default TWA waiting-array slot count (16 unless
+/// [`set_default_twa_slots`] changed it).
+pub fn default_twa_slots() -> usize {
+    DEFAULT_TWA_SLOTS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Sets the process-wide default TWA ticket→slot hash.
+pub fn set_default_twa_hash(hash: TwaHash) {
+    let idx = TwaHash::ALL.iter().position(|&h| h == hash).expect("hash in ALL");
+    DEFAULT_TWA_HASH.store(idx as u8, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-wide default TWA ticket→slot hash ([`TwaHash::Mod`] unless
+/// [`set_default_twa_hash`] changed it).
+pub fn default_twa_hash() -> TwaHash {
+    TwaHash::ALL[DEFAULT_TWA_HASH.load(std::sync::atomic::Ordering::Relaxed) as usize]
 }
 
 /// Allocates a lock of `kind` in simulated memory, homed in `home`.
@@ -280,7 +392,13 @@ pub fn build_lock(
             home,
             params.cna_splice_threshold,
         )),
-        LockKind::Twa => Box::new(SimTwa::alloc(mem, topo, home)),
+        LockKind::Twa => Box::new(SimTwa::alloc_with(
+            mem,
+            topo,
+            home,
+            params.twa_slots,
+            params.twa_hash,
+        )),
         LockKind::Recip => Box::new(SimRecip::alloc(mem, topo, home)),
     }
 }

@@ -106,23 +106,28 @@ pub(crate) fn exclusion_test(
 }
 
 /// [`exclusion_test`] on an arbitrary machine config — the fault-injection
-/// contract suite runs the same stress under each disturbance layer.
+/// and coherence-protocol contract suites run the same stress under each
+/// disturbance layer / protocol.
 pub(crate) fn exclusion_test_with(
     kind: LockKind,
     cfg: MachineConfig,
     iters: u32,
 ) -> SimReport {
+    exclusion_test_params(kind, cfg, iters, &SimLockParams::default())
+}
+
+/// [`exclusion_test_with`] with explicit lock tunables (the TWA geometry
+/// sweep exercises non-default waiting arrays).
+pub(crate) fn exclusion_test_params(
+    kind: LockKind,
+    cfg: MachineConfig,
+    iters: u32,
+    params: &SimLockParams,
+) -> SimReport {
     let mut m = Machine::new(cfg);
     let topo = Arc::clone(m.topology());
     let gt = GtSlots::alloc(m.mem_mut(), &topo);
-    let lock = build_lock(
-        kind,
-        m.mem_mut(),
-        &topo,
-        &gt,
-        NodeId(0),
-        &SimLockParams::default(),
-    );
+    let lock = build_lock(kind, m.mem_mut(), &topo, &gt, NodeId(0), params);
     let counter = m.mem_mut().alloc(NodeId(0));
     for cpu in topo.cpus() {
         let node = topo.node_of(cpu);
@@ -413,5 +418,82 @@ mod fault_contract {
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.preemptions, b.preemptions);
         assert_eq!(a.migrations, b.migrations);
+    }
+}
+
+#[cfg(test)]
+mod protocol_contract {
+    //! The lock contract under every coherence protocol: for every catalog
+    //! kind and every [`ProtocolKind`] (flat word-granular, MESI, Dragon)
+    //! across seeds, mutual exclusion must hold and every thread must
+    //! complete. The set-associative protocols change what an access
+    //! *costs* — line-granular invalidations, update broadcasts, capacity
+    //! evictions, false sharing between a lock word and its neighbours —
+    //! but never what it *returns*; any lost update or stuck waiter here
+    //! means a protocol state machine broke the memory contract the lock
+    //! state machines rely on.
+
+    use super::*;
+    use nucasim::ProtocolKind;
+
+    fn contract_under(proto: ProtocolKind) {
+        for &kind in hbo_locks::LockCatalog::kinds() {
+            for seed in [1u64, 42] {
+                let cfg = MachineConfig::wildfire(2, 2)
+                    .with_protocol(proto)
+                    .with_seed(seed);
+                exclusion_test_with(kind, cfg, 30);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_holds_under_flat() {
+        contract_under(ProtocolKind::Flat);
+    }
+
+    #[test]
+    fn exclusion_holds_under_mesi() {
+        contract_under(ProtocolKind::Mesi);
+    }
+
+    #[test]
+    fn exclusion_holds_under_dragon() {
+        contract_under(ProtocolKind::Dragon);
+    }
+
+    #[test]
+    fn protocol_runs_reproducible_for_seed() {
+        for proto in [ProtocolKind::Mesi, ProtocolKind::Dragon] {
+            for kind in [LockKind::HboGt, LockKind::Twa, LockKind::Mcs] {
+                let run = || {
+                    exclusion_test_with(
+                        kind,
+                        MachineConfig::wildfire(2, 2).with_protocol(proto).with_seed(9),
+                        30,
+                    )
+                };
+                let (a, b) = (run(), run());
+                assert_eq!(a.end_time, b.end_time, "{kind}/{proto}");
+                assert_eq!(a.traffic, b.traffic, "{kind}/{proto}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_survives_faults_under_mesi() {
+        // Protocols compose with the fault layers: the full disturbance
+        // stack on top of line-granular coherence still upholds the
+        // contract.
+        use nucasim::{FaultConfig, HolderPreemptConfig, JitterConfig};
+        let faults = FaultConfig::none()
+            .with_holder_preempt(HolderPreemptConfig { per_mille: 100, quantum: 30_000 })
+            .with_jitter(JitterConfig { max_extra: 40 });
+        for kind in [LockKind::HboGtSd, LockKind::Clh, LockKind::Recip] {
+            let cfg = MachineConfig::wildfire(2, 2)
+                .with_protocol(ProtocolKind::Mesi)
+                .with_faults(faults);
+            exclusion_test_with(kind, cfg, 30);
+        }
     }
 }

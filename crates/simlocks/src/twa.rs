@@ -26,11 +26,13 @@ use hbo_locks::LockKind;
 use nuca_topology::{CpuId, NodeId, Topology};
 use nucasim::{Addr, Command, CpuCtx, MemorySystem};
 
-use crate::{LockSession, SimLock, Step};
+use crate::{LockSession, SimLock, Step, TwaHash};
 
-/// Waiting-array slots. The real lock shares one 4096-slot array across
-/// the process; the simulator scales it down but keeps the collision
-/// semantics (two tickets 16 apart share a slot).
+/// Default waiting-array slots. The real lock shares one 4096-slot array
+/// across the process; the simulator scales it down but keeps the
+/// collision semantics (two tickets `slots` apart share a slot). The
+/// count and the ticket→slot hash are per-lock tunables
+/// ([`crate::SimLockParams::twa_slots`] / `twa_hash`).
 const WA_SLOTS: usize = 16;
 
 /// Waiters at distance ≤ this spin on `now_serving`; further back parks
@@ -43,21 +45,41 @@ pub struct SimTwa {
     next_ticket: Addr,
     now_serving: Addr,
     wa: Vec<Addr>,
+    hash: TwaHash,
 }
 
 impl SimTwa {
-    /// Allocates the lock words in `home` and the waiting array spread
-    /// round-robin over the machine's nodes (it is global state, not
-    /// lock-local, in the published design).
+    /// Allocates the lock words in `home` and the default-geometry
+    /// (16-slot, mod-hashed) waiting array spread round-robin over the
+    /// machine's nodes (it is global state, not lock-local, in the
+    /// published design).
     pub fn alloc(mem: &mut MemorySystem, topo: &Topology, home: NodeId) -> SimTwa {
+        SimTwa::alloc_with(mem, topo, home, WA_SLOTS, TwaHash::Mod)
+    }
+
+    /// Like [`SimTwa::alloc`] with an explicit waiting-array geometry:
+    /// `slots` array words and the ticket→slot mapping `hash`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn alloc_with(
+        mem: &mut MemorySystem,
+        topo: &Topology,
+        home: NodeId,
+        slots: usize,
+        hash: TwaHash,
+    ) -> SimTwa {
+        assert!(slots >= 1, "TWA needs at least one waiting-array slot");
         let nodes: Vec<NodeId> = topo.nodes().collect();
-        let wa = (0..WA_SLOTS)
+        let wa = (0..slots)
             .map(|i| mem.alloc(nodes[i % nodes.len()]))
             .collect();
         SimTwa {
             next_ticket: mem.alloc(home),
             now_serving: mem.alloc(home),
             wa,
+            hash,
         }
     }
 }
@@ -68,6 +90,7 @@ impl SimLock for SimTwa {
             next_ticket: self.next_ticket,
             now_serving: self.now_serving,
             wa: self.wa.clone(),
+            hash: self.hash,
             ticket: 0,
             seen: 0,
             state: TwaState::Idle,
@@ -103,6 +126,7 @@ struct TwaSession {
     next_ticket: Addr,
     now_serving: Addr,
     wa: Vec<Addr>,
+    hash: TwaHash,
     ticket: u64,
     /// Slot value read before parking.
     seen: u64,
@@ -111,7 +135,7 @@ struct TwaSession {
 
 impl TwaSession {
     fn slot_of(&self, ticket: u64) -> Addr {
-        self.wa[(ticket % WA_SLOTS as u64) as usize]
+        self.wa[self.hash.slot(ticket, self.wa.len())]
     }
 
     /// Dispatch on a freshly read `now_serving` value.
@@ -237,6 +261,47 @@ mod tests {
         let c = uncontested_cost(LockKind::Twa);
         assert!(c.same_node < c.remote_node);
         assert!(c.same_processor < c.remote_node);
+    }
+
+    #[test]
+    fn exclusion_holds_for_every_waiting_array_geometry() {
+        // Slot count and hash change only *where* long-term waiters park
+        // (and hence collision/false-sharing behavior), never correctness:
+        // a 1-slot array degenerates to everyone colliding, 64 slots to
+        // nobody colliding, and the stride hash scatters neighbours — the
+        // counter must come out exact under all of them.
+        use crate::testutil::exclusion_test_params;
+        use crate::{SimLockParams, TwaHash};
+        use nucasim::MachineConfig;
+
+        for slots in [1usize, 4, 64] {
+            for hash in TwaHash::ALL {
+                let params = SimLockParams::default().with_twa(slots, hash);
+                exclusion_test_params(
+                    LockKind::Twa,
+                    MachineConfig::wildfire(2, 3),
+                    25,
+                    &params,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hashes_disagree_on_slots_but_not_collisions_mod_16() {
+        use crate::TwaHash;
+        // Stride (×7, coprime to any slot count) visits every slot exactly
+        // once per `slots` consecutive tickets, like mod — same collision
+        // rate — but adjacent tickets land 7 slots apart.
+        let slots = 16;
+        let mut seen_mod: Vec<usize> = (0..slots as u64).map(|t| TwaHash::Mod.slot(t, slots)).collect();
+        let mut seen_str: Vec<usize> =
+            (0..slots as u64).map(|t| TwaHash::Stride.slot(t, slots)).collect();
+        assert_ne!(seen_mod, seen_str, "hashes must differ in placement");
+        seen_mod.sort_unstable();
+        seen_str.sort_unstable();
+        assert_eq!(seen_mod, seen_str, "both are permutations of the array");
+        assert_eq!(TwaHash::Stride.slot(0, slots).abs_diff(TwaHash::Stride.slot(1, slots)), 7);
     }
 
     #[test]

@@ -24,6 +24,71 @@ use crate::MicroReport;
 /// conservative.
 const ELEMS_PER_LINE: u32 = 8;
 
+/// How contending threads are bound to CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// Round-robin across nodes — the paper's binding ("round-robin
+    /// scheduling for thread binding to different cabinets"). Adjacent
+    /// thread ids land on different nodes, so contention is symmetric
+    /// from the start.
+    RoundRobin,
+    /// Fill each node before moving to the next, and start the threads in
+    /// per-node waves (all of node 0's threads arrive first, then node
+    /// 1's, ...). Models a clustered deployment — a batch scheduler
+    /// placing a job's threads densely — where arrivals are bursty and
+    /// node-correlated, the regime the hierarchical locks' local-handoff
+    /// preference is built for.
+    Clustered,
+}
+
+impl BindingKind {
+    /// Every binding, in menu order.
+    pub const ALL: [BindingKind; 2] = [BindingKind::RoundRobin, BindingKind::Clustered];
+
+    /// Stable name (CLI operand and TSV label).
+    pub fn name(self) -> &'static str {
+        match self {
+            BindingKind::RoundRobin => "rr",
+            BindingKind::Clustered => "clustered",
+        }
+    }
+}
+
+impl std::fmt::Display for BindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BindingKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BindingKind, String> {
+        match s {
+            "rr" => Ok(BindingKind::RoundRobin),
+            "clustered" => Ok(BindingKind::Clustered),
+            other => Err(format!("unknown binding '{other}' (expected rr or clustered)")),
+        }
+    }
+}
+
+/// Process-wide default binding ([`BindingKind::ALL`] index), read by
+/// [`ModernConfig::default`]. The harness `--binding` flag sets it once
+/// before any run.
+static DEFAULT_BINDING: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Sets the process-wide default thread binding.
+pub fn set_default_binding(kind: BindingKind) {
+    let idx = BindingKind::ALL.iter().position(|&b| b == kind).expect("binding in ALL");
+    DEFAULT_BINDING.store(idx as u8, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-wide default thread binding ([`BindingKind::RoundRobin`]
+/// unless [`set_default_binding`] changed it).
+pub fn default_binding() -> BindingKind {
+    BindingKind::ALL[DEFAULT_BINDING.load(std::sync::atomic::Ordering::Relaxed) as usize]
+}
+
 /// Configuration of one new-microbenchmark run.
 #[derive(Debug, Clone)]
 pub struct ModernConfig {
@@ -49,6 +114,16 @@ pub struct ModernConfig {
     /// so the data travels with the lock at handover. Ignored for locks
     /// without a single lock word (the queue locks).
     pub collocate: bool,
+    /// Padding words allocated between the lock and the `cs_work` vector.
+    /// Zero (the default) leaves the allocation stream exactly as before,
+    /// so lock word and first data line typically share a cache line —
+    /// invisible to the flat word-granular model, but false sharing under
+    /// the set-associative protocols. One line's worth of padding
+    /// (geometry `line_words`) separates them.
+    pub data_padding: u32,
+    /// How threads are bound to CPUs (defaults to the process default —
+    /// see [`set_default_binding`] / the harness `--binding` flag).
+    pub binding: BindingKind,
     /// Simulated-cycle budget; runs exceeding it report `finished=false`.
     pub cycle_limit: u64,
 }
@@ -64,6 +139,8 @@ impl Default for ModernConfig {
             private_work: 20_000,
             params: SimLockParams::default(),
             collocate: false,
+            data_padding: 0,
+            binding: default_binding(),
             cycle_limit: 50_000_000_000,
         }
     }
@@ -90,6 +167,9 @@ struct ModernProgram {
     /// (it already arrived with the lock) instead of clobbering the
     /// lock's value with a write.
     collocated: bool,
+    /// Fixed delay before the random stagger: zero under round-robin
+    /// binding, the thread's node-arrival wave under clustered binding.
+    start_offset: u64,
     rng: SplitMix64,
     state: State,
 }
@@ -136,10 +216,12 @@ impl Program for ModernProgram {
                 State::Stagger => {
                     // Random start offset: real threads never arrive in
                     // lockstep, and FIFO queue locks are acutely sensitive
-                    // to the initial enqueue order.
+                    // to the initial enqueue order. Clustered binding adds
+                    // a per-node wave on top, so same-node threads arrive
+                    // together in bursts.
                     self.state = State::Start;
                     let d = self.rng.next_below(self.private_work.max(2)).max(1);
-                    return Command::Delay(d);
+                    return Command::Delay(self.start_offset + d);
                 }
                 State::Start => {
                     if self.iterations == 0 {
@@ -290,6 +372,15 @@ fn run_modern_inner(
         factory(mem, &topo, &gt)
     };
     let cs_line_count = cfg.critical_work.div_ceil(ELEMS_PER_LINE);
+    if cfg.data_padding > 0 {
+        // Dead words between the lock and the protected data, pushing the
+        // first data line off the lock word's cache line. Never touched:
+        // only the allocation cursor moves, so a zero padding leaves the
+        // address stream byte-identical to the pre-padding layout.
+        let _ = machine
+            .mem_mut()
+            .alloc_array(NodeId(0), cfg.data_padding as usize);
+    }
     let mut lines = machine
         .mem_mut()
         .alloc_array(NodeId(0), cs_line_count.max(1) as usize);
@@ -304,12 +395,18 @@ fn run_modern_inner(
     }
     let cs_lines: Arc<[Addr]> = lines.into();
 
+    let bound = match cfg.binding {
+        BindingKind::RoundRobin => topo.round_robin_binding(cfg.threads),
+        BindingKind::Clustered => topo.block_binding(cfg.threads),
+    };
+    // Clustered arrivals come in per-node waves one private-work period
+    // apart: node 0's threads contend first, node 1's join a wave later.
+    let wave = match cfg.binding {
+        BindingKind::RoundRobin => 0,
+        BindingKind::Clustered => cfg.private_work.max(2),
+    };
     let mut seed = SplitMix64::new(cfg.machine.seed ^ 0xB0B0);
-    for (i, cpu) in topo
-        .round_robin_binding(cfg.threads)
-        .into_iter()
-        .enumerate()
-    {
+    for (i, cpu) in bound.into_iter().enumerate() {
         let node = topo.node_of(cpu);
         // Stagger start-up a little so contenders do not arrive in
         // lockstep (real threads never do).
@@ -323,6 +420,7 @@ fn run_modern_inner(
                 cs_line_count,
                 private_work: cfg.private_work,
                 collocated,
+                start_offset: node.index() as u64 * wave,
                 rng: seed.split(),
                 state: State::Stagger,
             }),
@@ -489,6 +587,72 @@ mod tests {
             clean_report.end_time, report.end_time,
             "fault layers had no effect on the run"
         );
+    }
+
+    #[test]
+    fn clustered_binding_completes_for_every_kind_and_differs_from_rr() {
+        for &kind in hbo_locks::LockCatalog::kinds() {
+            let cfg = ModernConfig {
+                kind,
+                machine: MachineConfig::wildfire(2, 4),
+                threads: 8,
+                iterations: 25,
+                critical_work: 100,
+                private_work: 2_000,
+                binding: BindingKind::Clustered,
+                ..ModernConfig::default()
+            };
+            let r = run_modern(&cfg);
+            assert!(r.finished, "{kind} clustered run hit the cycle limit");
+            assert_eq!(r.total_acquires, 200, "{kind}");
+        }
+        // The binding genuinely changes the run (placement + waves).
+        let rr = quick(LockKind::HboGt, 300);
+        let cl = run_modern(&ModernConfig {
+            kind: LockKind::HboGt,
+            machine: MachineConfig::wildfire(2, 4),
+            threads: 8,
+            iterations: 25,
+            critical_work: 300,
+            private_work: 2_000,
+            binding: BindingKind::Clustered,
+            ..ModernConfig::default()
+        });
+        assert_ne!(rr.elapsed_ns, cl.elapsed_ns, "binding had no effect");
+    }
+
+    #[test]
+    fn binding_names_round_trip() {
+        for b in BindingKind::ALL {
+            assert_eq!(b.name().parse::<BindingKind>(), Ok(b));
+        }
+        let err = "spread".parse::<BindingKind>().unwrap_err();
+        assert!(err.contains("spread") && err.contains("clustered"), "{err}");
+    }
+
+    #[test]
+    fn data_padding_moves_data_off_the_lock_line() {
+        // With the default 8-word line, padding by a full line must place
+        // the first protected word on a different line than the lock's
+        // last allocated word; zero padding must leave addresses as-is.
+        let run = |pad: u32| {
+            let cfg = ModernConfig {
+                kind: LockKind::Tatas,
+                machine: MachineConfig::wildfire(2, 2),
+                threads: 4,
+                iterations: 5,
+                critical_work: 8,
+                private_work: 1_000,
+                data_padding: pad,
+                ..ModernConfig::default()
+            };
+            let (_, lines) = run_modern_raw(&cfg);
+            lines[0].index()
+        };
+        let unpadded = run(0);
+        let padded = run(8);
+        assert_eq!(padded, unpadded + 8);
+        assert_ne!(unpadded / 8, padded / 8, "padding left data on the lock's line");
     }
 
     #[test]
